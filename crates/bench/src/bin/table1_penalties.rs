@@ -1,0 +1,6 @@
+//! Table 1 — the cycle-count assumptions of the cache study (a model
+//! *input*; printed for the record).
+
+fn main() {
+    print!("{}", ifetch_sim::PenaltyTable::render_table1());
+}

@@ -1,0 +1,6 @@
+//! Table 2 — the baseline TEPIC ISA operation formats (a model *input*;
+//! printed for the record).
+
+fn main() {
+    print!("{}", tepic_isa::format::render_table2());
+}

@@ -1,0 +1,229 @@
+//! # ccc-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §3 for the
+//! index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig05_compression` | Figure 5 — code size per scheme |
+//! | `fig07_att_size` | Figure 7 — ATB characteristics / total size with ATT |
+//! | `fig10_decoder` | Figure 10 — Huffman decoder complexity |
+//! | `fig13_cache_study` | Figure 13 — IPC per encoding per benchmark |
+//! | `fig14_bus_power` | Figure 14 — memory-bus bit flips |
+//! | `table1_penalties` | Table 1 — cycle count assumptions |
+//! | `table2_formats` | Table 2 — TEPIC formats |
+//! | `diag` | workload inventory sanity |
+//!
+//! This library holds the shared plumbing: compiling and tracing every
+//! workload once, building every encoding, and the text-table renderer.
+
+use ccc_core::schemes::base::encode_base;
+use ccc_core::schemes::{full::FullScheme, tailored::TailoredScheme, Scheme};
+use ccc_core::EncodedProgram;
+use ifetch_sim::{simulate, FetchConfig, FetchResult};
+use tepic_isa::Program;
+use tinker_workloads::Workload;
+use yula::BlockTrace;
+
+/// A fully prepared workload: compiled, traced, and encoded in the three
+/// executable address spaces of the cache study.
+pub struct Prepared {
+    /// The workload descriptor.
+    pub workload: &'static Workload,
+    /// The compiled program.
+    pub program: Program,
+    /// Its dynamic block trace.
+    pub trace: BlockTrace,
+    /// Uncompressed image.
+    pub base_img: EncodedProgram,
+    /// Tailored image.
+    pub tailored_img: EncodedProgram,
+    /// Full-op compressed image.
+    pub compressed_img: EncodedProgram,
+}
+
+/// Compiles, runs and encodes every workload.
+///
+/// # Panics
+///
+/// Panics when a workload fails — the harness cannot proceed on partial
+/// data.
+pub fn prepare_all() -> Vec<Prepared> {
+    tinker_workloads::ALL
+        .iter()
+        .map(|w| {
+            let (program, run) = w
+                .compile_and_run()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let base_img = encode_base(&program);
+            let tailored_img = TailoredScheme
+                .compress(&program)
+                .unwrap_or_else(|e| panic!("{} tailored: {e}", w.name))
+                .image;
+            let compressed_img = FullScheme::default()
+                .compress(&program)
+                .unwrap_or_else(|e| panic!("{} full: {e}", w.name))
+                .image;
+            Prepared {
+                workload: w,
+                program,
+                trace: run.trace,
+                base_img,
+                tailored_img,
+                compressed_img,
+            }
+        })
+        .collect()
+}
+
+/// The Figure-13 quartet for one prepared workload.
+pub struct CacheStudy {
+    /// Perfect cache/predictor bound.
+    pub ideal: FetchResult,
+    /// Uncompressed baseline.
+    pub base: FetchResult,
+    /// Full-op compressed with L0 buffer.
+    pub compressed: FetchResult,
+    /// Tailored ISA.
+    pub tailored: FetchResult,
+}
+
+/// Runs the four fetch configurations over one prepared workload, using
+/// the paper-spec (16KB/20KB) caches. With our workload sizes these see
+/// almost no capacity pressure; use [`cache_study_scaled`] for the
+/// Figure-13 reproduction.
+pub fn cache_study(p: &Prepared) -> CacheStudy {
+    CacheStudy {
+        ideal: simulate(&p.program, &p.base_img, &p.trace, &FetchConfig::ideal()),
+        base: simulate(&p.program, &p.base_img, &p.trace, &FetchConfig::base()),
+        compressed: simulate(
+            &p.program,
+            &p.compressed_img,
+            &p.trace,
+            &FetchConfig::compressed(),
+        ),
+        tailored: simulate(
+            &p.program,
+            &p.tailored_img,
+            &p.trace,
+            &FetchConfig::tailored(),
+        ),
+    }
+}
+
+/// Runs the four fetch configurations with caches scaled to the
+/// workload's code size, preserving the paper's code:cache pressure
+/// (see [`FetchConfig::scaled`] and DESIGN.md section 4).
+pub fn cache_study_scaled(p: &Prepared) -> CacheStudy {
+    use ifetch_sim::EncodingClass as E;
+    let code = p.base_img.total_bytes();
+    CacheStudy {
+        ideal: simulate(&p.program, &p.base_img, &p.trace, &FetchConfig::ideal()),
+        base: simulate(
+            &p.program,
+            &p.base_img,
+            &p.trace,
+            &FetchConfig::scaled(E::Base, code),
+        ),
+        compressed: simulate(
+            &p.program,
+            &p.compressed_img,
+            &p.trace,
+            &FetchConfig::scaled(E::Compressed, code),
+        ),
+        tailored: simulate(
+            &p.program,
+            &p.tailored_img,
+            &p.trace,
+            &FetchConfig::scaled(E::Tailored, code),
+        ),
+    }
+}
+
+/// Renders a fixed-width text table: a header row and data rows.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>width$}", width = w + 2))
+            .collect::<String>()
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Geometric mean of a nonempty, positive series.
+pub fn geomean(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    (vals.iter().map(|v| v.max(1e-300).ln()).sum::<f64>() / vals.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    vals.iter().sum::<f64>() / vals.len() as f64
+}
+
+/// Median (averaging the middle pair for even lengths).
+pub fn median(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    let mut v = vals.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renderer_aligns() {
+        let t = render_table(
+            &["name", "x"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("longer"));
+        assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((median(&[3.0, 1.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((median(&[4.0, 1.0, 2.0, 3.0]) - 2.5).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

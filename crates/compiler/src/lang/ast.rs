@@ -1,0 +1,150 @@
+//! Tink abstract syntax tree.
+
+/// Binary operators (integer or float, resolved during lowering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Short-circuit logical and.
+    LAnd,
+    /// Short-circuit logical or.
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+    LNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Int(i64),
+    Float(f32),
+    /// Variable reference (local or global scalar).
+    Var(String),
+    /// `name[index]` — global array element.
+    Index {
+        name: String,
+        index: Box<Expr>,
+    },
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Un {
+        op: UnOp,
+        expr: Box<Expr>,
+    },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
+}
+
+/// Assignable places.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    Var(String),
+    Index { name: String, index: Box<Expr> },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var x;` / `var x = e;`
+    VarDecl {
+        name: String,
+        float: bool,
+        init: Option<Expr>,
+    },
+    Assign {
+        lvalue: LValue,
+        value: Expr,
+    },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) body` — any part optional except cond.
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Expr,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+    },
+    Break,
+    Continue,
+    Return(Option<Expr>),
+    ExprStmt(Expr),
+}
+
+/// Element width of a global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemKind {
+    Word,
+    Byte,
+    /// 16-bit signed half-words.
+    Half,
+    Float,
+}
+
+/// Global initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// No initializer (zero-filled).
+    None,
+    /// `= { 1, 2, 3 }` (ints or floats per element kind).
+    IntList(Vec<i64>),
+    FloatList(Vec<f32>),
+    /// `= "text"` (byte globals only; NUL-terminated).
+    Str(String),
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    pub name: String,
+    pub kind: ElemKind,
+    /// Element count (1 for scalars).
+    pub count: u32,
+    pub init: GlobalInit,
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Vec<Stmt>,
+}
+
+/// A whole parsed program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    pub globals: Vec<GlobalDecl>,
+    pub funcs: Vec<FuncDecl>,
+}

@@ -1,0 +1,403 @@
+//! Tink lexer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and identifiers.
+    Int(i64),
+    Float(f32),
+    Str(String),
+    Ident(String),
+    // Keywords.
+    Fn,
+    Var,
+    FVar,
+    Global,
+    BGlobal,
+    HGlobal,
+    FGlobal,
+    If,
+    Else,
+    While,
+    For,
+    Break,
+    Continue,
+    Return,
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    // Operators.
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+    AmpAmp,
+    PipePipe,
+    Bang,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token plus its 1-based source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes Tink source. `//` comments run to end of line.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unknown characters, malformed numbers or
+/// unterminated strings.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let mut out = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let err = |line: u32, m: &str| LexError {
+        line,
+        message: m.to_string(),
+    };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // Float literal: digits '.' digits
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    let v: f32 = text
+                        .parse()
+                        .map_err(|_| err(line, &format!("bad float literal {text}")))?;
+                    out.push(SpannedTok {
+                        tok: Tok::Float(v),
+                        line,
+                    });
+                } else if i < b.len() && (b[i] == b'x' || b[i] == b'X') && &src[start..i] == "0" {
+                    i += 1;
+                    let hs = i;
+                    while i < b.len() && b[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if hs == i {
+                        return Err(err(line, "empty hex literal"));
+                    }
+                    let v = i64::from_str_radix(&src[hs..i], 16)
+                        .map_err(|_| err(line, "hex literal overflow"))?;
+                    out.push(SpannedTok {
+                        tok: Tok::Int(v),
+                        line,
+                    });
+                } else {
+                    let text = &src[start..i];
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| err(line, &format!("bad integer literal {text}")))?;
+                    out.push(SpannedTok {
+                        tok: Tok::Int(v),
+                        line,
+                    });
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "fn" => Tok::Fn,
+                    "var" => Tok::Var,
+                    "fvar" => Tok::FVar,
+                    "global" => Tok::Global,
+                    "bglobal" => Tok::BGlobal,
+                    "hglobal" => Tok::HGlobal,
+                    "fglobal" => Tok::FGlobal,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "for" => Tok::For,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    "return" => Tok::Return,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(SpannedTok { tok, line });
+            }
+            b'"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= b.len() {
+                        return Err(err(line, "unterminated string literal"));
+                    }
+                    match b[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            if i >= b.len() {
+                                return Err(err(line, "unterminated escape"));
+                            }
+                            let e = match b[i] {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'0' => '\0',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                other => {
+                                    return Err(err(
+                                        line,
+                                        &format!("unknown escape \\{}", other as char),
+                                    ))
+                                }
+                            };
+                            s.push(e);
+                            i += 1;
+                        }
+                        b'\n' => return Err(err(line, "newline in string literal")),
+                        other => {
+                            s.push(other as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            b'\'' => {
+                // Character literal → integer token.
+                if i + 2 < b.len() && b[i + 1] != b'\\' && b[i + 2] == b'\'' {
+                    out.push(SpannedTok {
+                        tok: Tok::Int(b[i + 1] as i64),
+                        line,
+                    });
+                    i += 3;
+                } else if i + 3 < b.len() && b[i + 1] == b'\\' && b[i + 3] == b'\'' {
+                    let v = match b[i + 2] {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        b'0' => 0,
+                        b'\\' => b'\\',
+                        b'\'' => b'\'',
+                        _ => return Err(err(line, "unknown character escape")),
+                    };
+                    out.push(SpannedTok {
+                        tok: Tok::Int(v as i64),
+                        line,
+                    });
+                    i += 4;
+                } else {
+                    return Err(err(line, "malformed character literal"));
+                }
+            }
+            _ => {
+                let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+                let (tok, adv) = match two {
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    "&&" => (Tok::AmpAmp, 2),
+                    "||" => (Tok::PipePipe, 2),
+                    "==" => (Tok::Eq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    _ => match c {
+                        b'(' => (Tok::LParen, 1),
+                        b')' => (Tok::RParen, 1),
+                        b'{' => (Tok::LBrace, 1),
+                        b'}' => (Tok::RBrace, 1),
+                        b'[' => (Tok::LBracket, 1),
+                        b']' => (Tok::RBracket, 1),
+                        b',' => (Tok::Comma, 1),
+                        b';' => (Tok::Semi, 1),
+                        b'=' => (Tok::Assign, 1),
+                        b'+' => (Tok::Plus, 1),
+                        b'-' => (Tok::Minus, 1),
+                        b'*' => (Tok::Star, 1),
+                        b'/' => (Tok::Slash, 1),
+                        b'%' => (Tok::Percent, 1),
+                        b'&' => (Tok::Amp, 1),
+                        b'|' => (Tok::Pipe, 1),
+                        b'^' => (Tok::Caret, 1),
+                        b'~' => (Tok::Tilde, 1),
+                        b'!' => (Tok::Bang, 1),
+                        b'<' => (Tok::Lt, 1),
+                        b'>' => (Tok::Gt, 1),
+                        other => {
+                            return Err(err(
+                                line,
+                                &format!("unexpected character {:?}", other as char),
+                            ))
+                        }
+                    },
+                };
+                out.push(SpannedTok { tok, line });
+                i += adv;
+            }
+        }
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            toks("fn main var x"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("main".into()),
+                Tok::Var,
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            toks("42 0x1F 3.5"),
+            vec![Tok::Int(42), Tok::Int(31), Tok::Float(3.5), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            toks("<= >= == != << >> && ||"),
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::AmpAmp,
+                Tok::PipePipe,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("1 // two three\n2"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(toks(r#""hi\n""#), vec![Tok::Str("hi\n".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(
+            toks(r"'A' '\n'"),
+            vec![Tok::Int(65), Tok::Int(10), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let ts = lex("1\n2\n3").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

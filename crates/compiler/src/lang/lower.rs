@@ -1,0 +1,873 @@
+//! Lowering from the Tink AST to `tinker-ir`.
+//!
+//! Conventions established here:
+//!
+//! * every Tink function returns an integer; a missing `return` yields 0;
+//! * locals live in virtual registers (parameters are copied into fresh
+//!   locals so they are assignable);
+//! * array accesses compute `base + index·elem_size` with shifts for
+//!   power-of-two element sizes;
+//! * boolean operators lower to control flow (short-circuit); a comparison
+//!   used as a *value* lowers to a 0/1 diamond;
+//! * mixed int/float arithmetic promotes the integer side (`CvtIF`);
+//!   assignments convert implicitly in both directions.
+
+use super::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+use tinker_ir::{
+    BlockRef, Cond, FBinOp, FuncId, FunctionBuilder, Global, GlobalId, IBinOp, IUnOp, Inst, Module,
+    RegClass, SysCode, Terminator, VReg, Width,
+};
+
+/// Semantic lowering failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// Description, including the offending symbol where known.
+    pub message: String,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+fn err<T>(m: impl Into<String>) -> Result<T, LowerError> {
+    Err(LowerError { message: m.into() })
+}
+
+#[derive(Clone, Copy)]
+struct GlobalSym {
+    id: GlobalId,
+    kind: ElemKind,
+}
+
+/// Lowers a parsed program to an IR module. The module contains every
+/// declared function; `main` must exist (checked here because every
+/// workload needs an entry point).
+///
+/// # Errors
+///
+/// Returns [`LowerError`] for unknown symbols, arity mismatches, type
+/// errors and a missing `main`.
+pub fn lower_program(prog: &Program) -> Result<Module, LowerError> {
+    let mut module = Module::new();
+    // Globals first.
+    let mut globals: HashMap<String, GlobalSym> = HashMap::new();
+    for g in &prog.globals {
+        if globals.contains_key(&g.name) {
+            return err(format!("duplicate global {}", g.name));
+        }
+        let elem = match g.kind {
+            ElemKind::Byte => 1u32,
+            ElemKind::Half => 2u32,
+            ElemKind::Word | ElemKind::Float => 4u32,
+        };
+        let size = g.count * elem;
+        let init = match &g.init {
+            GlobalInit::None => vec![],
+            GlobalInit::IntList(vs) => {
+                if vs.len() > g.count as usize {
+                    return err(format!("initializer for {} too long", g.name));
+                }
+                match g.kind {
+                    ElemKind::Byte => vs.iter().map(|&v| v as u8).collect(),
+                    ElemKind::Half => {
+                        vs.iter().flat_map(|&v| (v as i16).to_le_bytes()).collect()
+                    }
+                    _ => vs.iter().flat_map(|&v| (v as i32).to_le_bytes()).collect(),
+                }
+            }
+            GlobalInit::FloatList(vs) => {
+                if vs.len() > g.count as usize || g.kind != ElemKind::Float {
+                    return err(format!("bad float initializer for {}", g.name));
+                }
+                vs.iter().flat_map(|&v| v.to_le_bytes()).collect()
+            }
+            GlobalInit::Str(s) => {
+                if g.kind != ElemKind::Byte || s.len() + 1 > g.count as usize {
+                    return err(format!("bad string initializer for {}", g.name));
+                }
+                let mut b: Vec<u8> = s.bytes().collect();
+                b.push(0);
+                b
+            }
+        };
+        let id = module.add_global(Global {
+            name: g.name.clone(),
+            size,
+            init,
+        });
+        globals.insert(g.name.clone(), GlobalSym { id, kind: g.kind });
+    }
+
+    // Pre-declare all functions so calls can be forward.
+    let mut func_ids: HashMap<String, (FuncId, usize)> = HashMap::new();
+    for (i, f) in prog.funcs.iter().enumerate() {
+        if func_ids.contains_key(&f.name) {
+            return err(format!("duplicate function {}", f.name));
+        }
+        func_ids.insert(f.name.clone(), (FuncId(i as u32), f.params.len()));
+    }
+    if !func_ids.contains_key("main") {
+        return err("program has no main function");
+    }
+
+    for f in &prog.funcs {
+        let lowered = FuncLowerer::lower(f, &globals, &func_ids)?;
+        module.add_func(lowered);
+    }
+    Ok(module)
+}
+
+struct FuncLowerer<'a> {
+    b: FunctionBuilder,
+    cur: BlockRef,
+    /// Whether `cur` already received a real terminator.
+    terminated: bool,
+    locals: HashMap<String, VReg>,
+    /// Names of locals declared with `fvar`.
+    float_locals: std::collections::HashSet<String>,
+    globals: &'a HashMap<String, GlobalSym>,
+    funcs: &'a HashMap<String, (FuncId, usize)>,
+    /// (continue target, break target) stack.
+    loops: Vec<(BlockRef, BlockRef)>,
+}
+
+impl<'a> FuncLowerer<'a> {
+    fn lower(
+        decl: &FuncDecl,
+        globals: &'a HashMap<String, GlobalSym>,
+        funcs: &'a HashMap<String, (FuncId, usize)>,
+    ) -> Result<tinker_ir::Function, LowerError> {
+        let mut b = FunctionBuilder::new(&decl.name, decl.params.len() as u32, Some(RegClass::Int));
+        let entry = b.entry();
+        let mut locals = HashMap::new();
+        // Copy params into assignable locals.
+        for (i, p) in decl.params.iter().enumerate() {
+            let v = b.new_vreg(RegClass::Int);
+            let pv = b.param(i as u32);
+            b.push(
+                entry,
+                Inst::IUn {
+                    op: IUnOp::Mov,
+                    dst: v,
+                    a: pv,
+                },
+            );
+            locals.insert(p.clone(), v);
+        }
+        let mut lo = FuncLowerer {
+            b,
+            cur: entry,
+            terminated: false,
+            locals,
+            float_locals: Default::default(),
+            globals,
+            funcs,
+            loops: vec![],
+        };
+        lo.stmts(&decl.body)?;
+        if !lo.terminated {
+            let zero = lo.b.iconst(lo.cur, 0);
+            lo.b.set_term(lo.cur, Terminator::Ret(Some(zero)));
+        }
+        Ok(lo.b.finish())
+    }
+
+    fn start_block(&mut self, b: BlockRef) {
+        self.cur = b;
+        self.terminated = false;
+    }
+
+    fn terminate(&mut self, t: Terminator) {
+        if !self.terminated {
+            self.b.set_term(self.cur, t);
+            self.terminated = true;
+        }
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), LowerError> {
+        for s in body {
+            if self.terminated {
+                // Dead code after return/break; skip (DCE would drop it).
+                break;
+            }
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LowerError> {
+        match s {
+            Stmt::VarDecl { name, float, init } => {
+                let class = if *float {
+                    RegClass::Float
+                } else {
+                    RegClass::Int
+                };
+                let v = self.b.new_vreg(class);
+                self.locals.insert(name.clone(), v);
+                if *float {
+                    self.float_locals.insert(name.clone());
+                } else {
+                    self.float_locals.remove(name);
+                }
+                if let Some(e) = init {
+                    let (val, vf) = self.value(e)?;
+                    let val = self.coerce(val, vf, *float)?;
+                    self.copy_into(v, val, *float);
+                } else {
+                    // Zero-init for determinism.
+                    if *float {
+                        let z = self.b.fconst(self.cur, 0.0);
+                        self.b.push(self.cur, Inst::FMov { dst: v, a: z });
+                    } else {
+                        let z = self.b.iconst(self.cur, 0);
+                        self.b.push(
+                            self.cur,
+                            Inst::IUn {
+                                op: IUnOp::Mov,
+                                dst: v,
+                                a: z,
+                            },
+                        );
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Assign { lvalue, value } => {
+                let (val, vf) = self.value(value)?;
+                match lvalue {
+                    LValue::Var(name) => {
+                        if let Some(&dst) = self.locals.get(name) {
+                            let dst_float = self.local_is_float(name);
+                            let val = self.coerce(val, vf, dst_float)?;
+                            self.copy_into(dst, val, dst_float);
+                        } else if let Some(&g) = self.globals.get(name) {
+                            self.store_global(g, None, val, vf)?;
+                        } else {
+                            return err(format!("unknown variable {name}"));
+                        }
+                        Ok(())
+                    }
+                    LValue::Index { name, index } => {
+                        let g = *self.globals.get(name).ok_or_else(|| LowerError {
+                            message: format!("unknown array {name}"),
+                        })?;
+                        let (idx, idx_f) = self.value(index)?;
+                        if idx_f {
+                            return err("array index must be an integer");
+                        }
+                        self.store_global(g, Some(idx), val, vf)?;
+                        Ok(())
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let then_bb = self.b.new_block();
+                let else_bb = self.b.new_block();
+                let join = self.b.new_block();
+                self.cond(cond, then_bb, else_bb)?;
+                self.start_block(then_bb);
+                self.stmts(then_body)?;
+                self.terminate(Terminator::Jump(join));
+                self.start_block(else_bb);
+                self.stmts(else_body)?;
+                self.terminate(Terminator::Jump(join));
+                self.start_block(join);
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let head = self.b.new_block();
+                let body_bb = self.b.new_block();
+                let exit = self.b.new_block();
+                self.terminate(Terminator::Jump(head));
+                self.start_block(head);
+                self.cond(cond, body_bb, exit)?;
+                self.start_block(body_bb);
+                self.loops.push((head, exit));
+                self.stmts(body)?;
+                self.loops.pop();
+                self.terminate(Terminator::Jump(head));
+                self.start_block(exit);
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let head = self.b.new_block();
+                let body_bb = self.b.new_block();
+                let step_bb = self.b.new_block();
+                let exit = self.b.new_block();
+                self.terminate(Terminator::Jump(head));
+                self.start_block(head);
+                self.cond(cond, body_bb, exit)?;
+                self.start_block(body_bb);
+                self.loops.push((step_bb, exit));
+                self.stmts(body)?;
+                self.loops.pop();
+                self.terminate(Terminator::Jump(step_bb));
+                self.start_block(step_bb);
+                if let Some(st) = step {
+                    self.stmt(st)?;
+                }
+                self.terminate(Terminator::Jump(head));
+                self.start_block(exit);
+                Ok(())
+            }
+            Stmt::Break => match self.loops.last() {
+                Some(&(_, exit)) => {
+                    self.terminate(Terminator::Jump(exit));
+                    Ok(())
+                }
+                None => err("break outside loop"),
+            },
+            Stmt::Continue => match self.loops.last() {
+                Some(&(cont, _)) => {
+                    self.terminate(Terminator::Jump(cont));
+                    Ok(())
+                }
+                None => err("continue outside loop"),
+            },
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => {
+                        let (v, f) = self.value(e)?;
+                        self.coerce(v, f, false)?
+                    }
+                    None => self.b.iconst(self.cur, 0),
+                };
+                self.terminate(Terminator::Ret(Some(v)));
+                Ok(())
+            }
+            Stmt::ExprStmt(e) => {
+                self.value(e)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn local_is_float(&self, name: &str) -> bool {
+        // Recorded at declaration via a parallel map would duplicate state;
+        // instead locals map is queried and the builder's class table is
+        // authoritative. We shadow it with a name convention-free lookup
+        // through `float_locals`.
+        self.float_locals.contains(name)
+    }
+
+    /// Copies `src` into the named local's vreg.
+    fn copy_into(&mut self, dst: VReg, src: VReg, float: bool) {
+        if float {
+            self.b.push(self.cur, Inst::FMov { dst, a: src });
+        } else {
+            self.b.push(
+                self.cur,
+                Inst::IUn {
+                    op: IUnOp::Mov,
+                    dst,
+                    a: src,
+                },
+            );
+        }
+    }
+
+    /// Converts a value to the requested class if needed.
+    fn coerce(&mut self, v: VReg, is_float: bool, want_float: bool) -> Result<VReg, LowerError> {
+        Ok(match (is_float, want_float) {
+            (false, true) => self.b.cvt_if(self.cur, v),
+            (true, false) => self.b.cvt_fi(self.cur, v),
+            _ => v,
+        })
+    }
+
+    fn store_global(
+        &mut self,
+        g: GlobalSym,
+        index: Option<VReg>,
+        val: VReg,
+        val_float: bool,
+    ) -> Result<(), LowerError> {
+        let addr = self.element_addr(g, index);
+        match g.kind {
+            ElemKind::Float => {
+                let v = self.coerce(val, val_float, true)?;
+                self.b.fstore(self.cur, addr, 0, v);
+            }
+            ElemKind::Word => {
+                let v = self.coerce(val, val_float, false)?;
+                self.b.store(self.cur, Width::Word, addr, 0, v);
+            }
+            ElemKind::Byte => {
+                let v = self.coerce(val, val_float, false)?;
+                self.b.store(self.cur, Width::Byte, addr, 0, v);
+            }
+            ElemKind::Half => {
+                let v = self.coerce(val, val_float, false)?;
+                self.b.store(self.cur, Width::Half, addr, 0, v);
+            }
+        }
+        Ok(())
+    }
+
+    fn element_addr(&mut self, g: GlobalSym, index: Option<VReg>) -> VReg {
+        let base = self.b.global_addr(self.cur, g.id);
+        match index {
+            None => base,
+            Some(idx) => {
+                let scaled = match g.kind {
+                    ElemKind::Byte => idx,
+                    ElemKind::Half => {
+                        let one = self.b.iconst(self.cur, 1);
+                        self.b.ibin(self.cur, IBinOp::Shl, idx, one)
+                    }
+                    _ => {
+                        let two = self.b.iconst(self.cur, 2);
+                        self.b.ibin(self.cur, IBinOp::Shl, idx, two)
+                    }
+                };
+                self.b.ibin(self.cur, IBinOp::Add, base, scaled)
+            }
+        }
+    }
+
+    /// Lowers `e` for its value; returns `(vreg, is_float)`.
+    fn value(&mut self, e: &Expr) -> Result<(VReg, bool), LowerError> {
+        match e {
+            Expr::Int(v) => Ok((self.b.iconst(self.cur, *v), false)),
+            Expr::Float(v) => Ok((self.b.fconst(self.cur, *v), true)),
+            Expr::Var(name) => {
+                if let Some(&v) = self.locals.get(name) {
+                    Ok((v, self.local_is_float(name)))
+                } else if let Some(&g) = self.globals.get(name) {
+                    let addr = self.element_addr(g, None);
+                    Ok(self.load_elem(g, addr))
+                } else {
+                    err(format!("unknown variable {name}"))
+                }
+            }
+            Expr::Index { name, index } => {
+                let g = *self.globals.get(name).ok_or_else(|| LowerError {
+                    message: format!("unknown array {name}"),
+                })?;
+                let (idx, f) = self.value(index)?;
+                if f {
+                    return err("array index must be an integer");
+                }
+                let addr = self.element_addr(g, Some(idx));
+                Ok(self.load_elem(g, addr))
+            }
+            Expr::Un {
+                op: UnOp::Neg,
+                expr,
+            } => {
+                let (v, f) = self.value(expr)?;
+                if f {
+                    let dst = self.b.new_vreg(RegClass::Float);
+                    self.b.push(self.cur, Inst::FNeg { dst, a: v });
+                    Ok((dst, true))
+                } else {
+                    Ok((self.b.iun(self.cur, IUnOp::Neg, v), false))
+                }
+            }
+            Expr::Un {
+                op: UnOp::Not,
+                expr,
+            } => {
+                let (v, f) = self.value(expr)?;
+                if f {
+                    return err("~ requires an integer operand");
+                }
+                Ok((self.b.iun(self.cur, IUnOp::Not, v), false))
+            }
+            Expr::Un { op: UnOp::LNot, .. }
+            | Expr::Bin {
+                op:
+                    BinOp::LAnd
+                    | BinOp::LOr
+                    | BinOp::Eq
+                    | BinOp::Ne
+                    | BinOp::Lt
+                    | BinOp::Le
+                    | BinOp::Gt
+                    | BinOp::Ge,
+                ..
+            } => {
+                // Boolean used as a value: materialize a 0/1 diamond.
+                let result = self.b.new_vreg(RegClass::Int);
+                let tbb = self.b.new_block();
+                let fbb = self.b.new_block();
+                let join = self.b.new_block();
+                self.cond(e, tbb, fbb)?;
+                self.start_block(tbb);
+                let one = self.b.iconst(self.cur, 1);
+                self.b.push(
+                    self.cur,
+                    Inst::IUn {
+                        op: IUnOp::Mov,
+                        dst: result,
+                        a: one,
+                    },
+                );
+                self.terminate(Terminator::Jump(join));
+                self.start_block(fbb);
+                let zero = self.b.iconst(self.cur, 0);
+                self.b.push(
+                    self.cur,
+                    Inst::IUn {
+                        op: IUnOp::Mov,
+                        dst: result,
+                        a: zero,
+                    },
+                );
+                self.terminate(Terminator::Jump(join));
+                self.start_block(join);
+                Ok((result, false))
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let (a, af) = self.value(lhs)?;
+                let (c, cf) = self.value(rhs)?;
+                let float = af || cf;
+                if float {
+                    let fop = match op {
+                        BinOp::Add => FBinOp::Add,
+                        BinOp::Sub => FBinOp::Sub,
+                        BinOp::Mul => FBinOp::Mul,
+                        BinOp::Div => FBinOp::Div,
+                        other => return err(format!("{other:?} not supported on floats")),
+                    };
+                    let a = self.coerce(a, af, true)?;
+                    let c = self.coerce(c, cf, true)?;
+                    Ok((self.b.fbin(self.cur, fop, a, c), true))
+                } else {
+                    let iop = match op {
+                        BinOp::Add => IBinOp::Add,
+                        BinOp::Sub => IBinOp::Sub,
+                        BinOp::Mul => IBinOp::Mul,
+                        BinOp::Div => IBinOp::Div,
+                        BinOp::Rem => IBinOp::Rem,
+                        BinOp::And => IBinOp::And,
+                        BinOp::Or => IBinOp::Or,
+                        BinOp::Xor => IBinOp::Xor,
+                        BinOp::Shl => IBinOp::Shl,
+                        BinOp::Shr => IBinOp::Shr,
+                        other => unreachable!("comparison {other:?} handled above"),
+                    };
+                    Ok((self.b.ibin(self.cur, iop, a, c), false))
+                }
+            }
+            Expr::Call { name, args } => self.call(name, args),
+        }
+    }
+
+    fn load_elem(&mut self, g: GlobalSym, addr: VReg) -> (VReg, bool) {
+        match g.kind {
+            ElemKind::Float => (self.b.fload(self.cur, addr, 0), true),
+            ElemKind::Word => (self.b.load(self.cur, Width::Word, addr, 0), false),
+            ElemKind::Byte => (self.b.load(self.cur, Width::Byte, addr, 0), false),
+            ElemKind::Half => (self.b.load(self.cur, Width::Half, addr, 0), false),
+        }
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr]) -> Result<(VReg, bool), LowerError> {
+        // Builtins first.
+        match (name, args.len()) {
+            ("print", 1) => {
+                let (v, f) = self.value(&args[0])?;
+                let v = self.coerce(v, f, false)?;
+                self.b.push(
+                    self.cur,
+                    Inst::Sys {
+                        code: SysCode::PrintInt,
+                        arg: v,
+                    },
+                );
+                return Ok((self.b.iconst(self.cur, 0), false));
+            }
+            ("putc", 1) => {
+                let (v, f) = self.value(&args[0])?;
+                let v = self.coerce(v, f, false)?;
+                self.b.push(
+                    self.cur,
+                    Inst::Sys {
+                        code: SysCode::PrintChar,
+                        arg: v,
+                    },
+                );
+                return Ok((self.b.iconst(self.cur, 0), false));
+            }
+            ("float", 1) => {
+                let (v, f) = self.value(&args[0])?;
+                return Ok((self.coerce(v, f, true)?, true));
+            }
+            ("int", 1) => {
+                let (v, f) = self.value(&args[0])?;
+                return Ok((self.coerce(v, f, false)?, false));
+            }
+            _ => {}
+        }
+        let &(id, arity) = self.funcs.get(name).ok_or_else(|| LowerError {
+            message: format!("unknown function {name}"),
+        })?;
+        if args.len() != arity {
+            return err(format!(
+                "{name} expects {arity} arguments, got {}",
+                args.len()
+            ));
+        }
+        let mut argv = Vec::with_capacity(args.len());
+        for a in args {
+            let (v, f) = self.value(a)?;
+            argv.push(self.coerce(v, f, false)?);
+        }
+        let ret = self.b.call(self.cur, id, argv, Some(RegClass::Int));
+        Ok((ret.expect("int return"), false))
+    }
+
+    /// Lowers `e` as a condition branching to `then_bb` / `else_bb`.
+    fn cond(&mut self, e: &Expr, then_bb: BlockRef, else_bb: BlockRef) -> Result<(), LowerError> {
+        match e {
+            Expr::Bin {
+                op: BinOp::LAnd,
+                lhs,
+                rhs,
+            } => {
+                let mid = self.b.new_block();
+                self.cond(lhs, mid, else_bb)?;
+                self.start_block(mid);
+                self.cond(rhs, then_bb, else_bb)
+            }
+            Expr::Bin {
+                op: BinOp::LOr,
+                lhs,
+                rhs,
+            } => {
+                let mid = self.b.new_block();
+                self.cond(lhs, then_bb, mid)?;
+                self.start_block(mid);
+                self.cond(rhs, then_bb, else_bb)
+            }
+            Expr::Un {
+                op: UnOp::LNot,
+                expr,
+            } => self.cond(expr, else_bb, then_bb),
+            Expr::Bin {
+                op: op @ (BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge),
+                lhs,
+                rhs,
+            } => {
+                let (a, af) = self.value(lhs)?;
+                let (c, cf) = self.value(rhs)?;
+                let cond = match op {
+                    BinOp::Eq => Cond::Eq,
+                    BinOp::Ne => Cond::Ne,
+                    BinOp::Lt => Cond::Lt,
+                    BinOp::Le => Cond::Le,
+                    BinOp::Gt => Cond::Gt,
+                    BinOp::Ge => Cond::Ge,
+                    _ => unreachable!(),
+                };
+                let p = if af || cf {
+                    let a = self.coerce(a, af, true)?;
+                    let c = self.coerce(c, cf, true)?;
+                    self.b.fcmp(self.cur, cond, a, c)
+                } else {
+                    self.b.icmp(self.cur, cond, a, c)
+                };
+                self.terminate(Terminator::CondBr {
+                    pred: p,
+                    then_bb,
+                    else_bb,
+                });
+                Ok(())
+            }
+            _ => {
+                let (v, f) = self.value(e)?;
+                let v = self.coerce(v, f, false)?;
+                let zero = self.b.iconst(self.cur, 0);
+                let p = self.b.icmp(self.cur, Cond::Ne, v, zero);
+                self.terminate(Terminator::CondBr {
+                    pred: p,
+                    then_bb,
+                    else_bb,
+                });
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parser::parse;
+
+    fn lower(src: &str) -> Module {
+        let prog = parse(src).unwrap();
+        let m = lower_program(&prog).unwrap();
+        m.verify().expect("verifies");
+        m
+    }
+
+    #[test]
+    fn lowers_minimal_main() {
+        let m = lower("fn main() { print(42); }");
+        assert_eq!(m.funcs().len(), 1);
+        assert!(m.func_by_name("main").is_some());
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        let prog = parse("fn f() { }").unwrap();
+        assert!(lower_program(&prog).is_err());
+    }
+
+    #[test]
+    fn lowers_loops_and_arrays() {
+        let m = lower(
+            r#"
+            global a[10];
+            fn main() {
+                var i;
+                for (i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+                print(a[5]);
+            }
+        "#,
+        );
+        let (_, f) = m.func_by_name("main").unwrap();
+        assert!(
+            f.blocks.len() >= 4,
+            "loop produces head/body/step/exit blocks"
+        );
+    }
+
+    #[test]
+    fn lowers_calls_with_forward_reference() {
+        let m = lower(
+            r#"
+            fn main() { print(helper(3)); }
+            fn helper(x) { return x + 1; }
+        "#,
+        );
+        assert_eq!(m.funcs().len(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let prog = parse("fn main() { f(1, 2); } fn f(x) { return x; }").unwrap();
+        assert!(lower_program(&prog).is_err());
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        let prog = parse("fn main() { x = 3; }").unwrap();
+        assert!(lower_program(&prog).is_err());
+        let prog = parse("fn main() { print(q(1)); }").unwrap();
+        assert!(lower_program(&prog).is_err());
+    }
+
+    #[test]
+    fn float_promotion() {
+        let m = lower(
+            r#"
+            fglobal fs[4];
+            fn main() {
+                fvar x = 1.5;
+                fvar y = x * 2;      // int promoted
+                fs[0] = y;
+                var i = int(y + 0.5);
+                print(i);
+            }
+        "#,
+        );
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn float_rem_rejected() {
+        let prog = parse("fn main() { fvar x = 1.0; fvar y = x % 2.0; }").unwrap();
+        assert!(lower_program(&prog).is_err());
+    }
+
+    #[test]
+    fn boolean_as_value() {
+        let m = lower("fn main() { var b = (3 < 4); print(b); }");
+        let (_, f) = m.func_by_name("main").unwrap();
+        assert!(f.blocks.len() >= 3, "diamond for boolean materialization");
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let prog = parse("fn main() { break; }").unwrap();
+        assert!(lower_program(&prog).is_err());
+    }
+
+    #[test]
+    fn short_circuit_creates_blocks() {
+        let m = lower("fn main() { var a = 1; if (a < 2 && a > 0) { print(1); } }");
+        let (_, f) = m.func_by_name("main").unwrap();
+        assert!(f.blocks.len() >= 4);
+    }
+
+    #[test]
+    fn global_initializers_encoded() {
+        let m = lower(
+            r#"
+            global tab[3] = { 1, -2, 3 };
+            bglobal s[8] = "ab";
+            fglobal fc[1] = { 2.5 };
+            fn main() { print(tab[0]); }
+        "#,
+        );
+        let g = &m.globals()[0];
+        assert_eq!(g.size, 12);
+        assert_eq!(&g.init[0..4], &1i32.to_le_bytes());
+        assert_eq!(&g.init[4..8], &(-2i32).to_le_bytes());
+        let s = &m.globals()[1];
+        assert_eq!(&s.init, &[b'a', b'b', 0]);
+        let f = &m.globals()[2];
+        assert_eq!(&f.init, &2.5f32.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod half_tests {
+    use super::*;
+    use crate::lang::parser::parse;
+
+    #[test]
+    fn hglobal_lowers_with_half_width_and_2byte_elements() {
+        let m = lower_program(
+            &parse("hglobal h[4] = { 7, -8 }; fn main() { h[2] = h[0] + h[1]; print(h[2]); }")
+                .unwrap(),
+        )
+        .unwrap();
+        m.verify().unwrap();
+        let g = &m.globals()[0];
+        assert_eq!(g.size, 8, "4 half-words = 8 bytes");
+        assert_eq!(&g.init[0..2], &7i16.to_le_bytes());
+        assert_eq!(&g.init[2..4], &(-8i16).to_le_bytes());
+        // The function must contain Half-width memory ops.
+        let f = &m.funcs()[0];
+        let has_half = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::Load { width: Width::Half, .. } | Inst::Store { width: Width::Half, .. }
+            )
+        });
+        assert!(has_half, "half-width accesses expected");
+    }
+}

@@ -1,0 +1,30 @@
+//! The *Tink* frontend language.
+//!
+//! Tink is a small C-like systems language sufficient to express the
+//! benchmark suite: 32-bit integers and floats, global scalar/array data
+//! (word, half, byte and float element widths, with initializers),
+//! functions
+//! with up to six parameters, recursion, `if`/`while`/`for`, short-circuit
+//! booleans, and the `print`/`putc` output builtins.
+//!
+//! Grammar sketch (see `parser.rs` for the precise rules):
+//!
+//! ```text
+//! program   := (global | func)*
+//! global    := ("global" | "hglobal" | "bglobal" | "fglobal") ident "[" num "]" ("=" init)? ";"
+//!            | "global" ident ("=" expr)? ";"
+//! func      := "fn" ident "(" params ")" block
+//! stmt      := "var" ident ("=" expr)? ";" | "fvar" ident ("=" expr)? ";"
+//!            | lvalue "=" expr ";" | "if" "(" expr ")" block ("else" (block|if))?
+//!            | "while" "(" expr ")" block | "for" "(" ... ")" block
+//!            | "break" ";" | "continue" ";" | "return" expr? ";" | expr ";"
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::Program;
+pub use lower::lower_program;
+pub use parser::{parse, ParseError};

@@ -1,0 +1,637 @@
+//! Recursive-descent / precedence-climbing parser for Tink.
+
+use super::ast::*;
+use super::lexer::{lex, LexError, SpannedTok, Tok};
+use std::fmt;
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses a full Tink program.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] describing the first syntax error.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, m: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line(),
+            message: m.into(),
+        })
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), ParseError> {
+        if *self.peek() == t {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Global => prog.globals.push(self.global(ElemKind::Word)?),
+                Tok::BGlobal => prog.globals.push(self.global(ElemKind::Byte)?),
+                Tok::HGlobal => prog.globals.push(self.global(ElemKind::Half)?),
+                Tok::FGlobal => prog.globals.push(self.global(ElemKind::Float)?),
+                Tok::Fn => prog.funcs.push(self.func()?),
+                other => return self.err(format!("expected declaration, found {other:?}")),
+            }
+        }
+        Ok(prog)
+    }
+
+    fn global(&mut self, kind: ElemKind) -> Result<GlobalDecl, ParseError> {
+        self.next(); // keyword
+        let name = self.ident()?;
+        let count = if *self.peek() == Tok::LBracket {
+            self.next();
+            let n = match self.next() {
+                Tok::Int(v) if v > 0 && v <= 16 * 1024 * 1024 => v as u32,
+                other => return self.err(format!("expected positive array size, found {other:?}")),
+            };
+            self.expect(Tok::RBracket)?;
+            n
+        } else {
+            1
+        };
+        let init = if *self.peek() == Tok::Assign {
+            self.next();
+            match self.peek().clone() {
+                Tok::Str(s) => {
+                    self.next();
+                    if kind != ElemKind::Byte {
+                        return self.err("string initializer requires a byte global");
+                    }
+                    GlobalInit::Str(s)
+                }
+                Tok::LBrace => {
+                    self.next();
+                    if kind == ElemKind::Float {
+                        let mut vals = Vec::new();
+                        loop {
+                            match self.next() {
+                                Tok::Float(v) => vals.push(v),
+                                Tok::Int(v) => vals.push(v as f32),
+                                Tok::Minus => match self.next() {
+                                    Tok::Float(v) => vals.push(-v),
+                                    Tok::Int(v) => vals.push(-(v as f32)),
+                                    other => {
+                                        return self.err(format!(
+                                            "expected number after -, found {other:?}"
+                                        ))
+                                    }
+                                },
+                                other => {
+                                    return self.err(format!("expected float, found {other:?}"))
+                                }
+                            }
+                            match self.next() {
+                                Tok::Comma => continue,
+                                Tok::RBrace => break,
+                                other => {
+                                    return self.err(format!("expected , or }}, found {other:?}"))
+                                }
+                            }
+                        }
+                        GlobalInit::FloatList(vals)
+                    } else {
+                        let mut vals = Vec::new();
+                        loop {
+                            match self.next() {
+                                Tok::Int(v) => vals.push(v),
+                                Tok::Minus => match self.next() {
+                                    Tok::Int(v) => vals.push(-v),
+                                    other => {
+                                        return self
+                                            .err(format!("expected int after -, found {other:?}"))
+                                    }
+                                },
+                                other => {
+                                    return self.err(format!("expected integer, found {other:?}"))
+                                }
+                            }
+                            match self.next() {
+                                Tok::Comma => continue,
+                                Tok::RBrace => break,
+                                other => {
+                                    return self.err(format!("expected , or }}, found {other:?}"))
+                                }
+                            }
+                        }
+                        GlobalInit::IntList(vals)
+                    }
+                }
+                Tok::Int(v) => {
+                    self.next();
+                    GlobalInit::IntList(vec![v])
+                }
+                Tok::Minus => {
+                    self.next();
+                    match self.next() {
+                        Tok::Int(v) => GlobalInit::IntList(vec![-v]),
+                        other => return self.err(format!("expected int after -, found {other:?}")),
+                    }
+                }
+                Tok::Float(v) => {
+                    self.next();
+                    GlobalInit::FloatList(vec![v])
+                }
+                other => return self.err(format!("expected initializer, found {other:?}")),
+            }
+        } else {
+            GlobalInit::None
+        };
+        self.expect(Tok::Semi)?;
+        Ok(GlobalDecl {
+            name,
+            kind,
+            count,
+            init,
+        })
+    }
+
+    fn func(&mut self) -> Result<FuncDecl, ParseError> {
+        self.expect(Tok::Fn)?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                params.push(self.ident()?);
+                if *self.peek() == Tok::Comma {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        if params.len() > 6 {
+            return self.err("functions support at most 6 parameters");
+        }
+        let body = self.block()?;
+        Ok(FuncDecl { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.next();
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::Var | Tok::FVar => {
+                let float = *self.peek() == Tok::FVar;
+                self.next();
+                let name = self.ident()?;
+                let init = if *self.peek() == Tok::Assign {
+                    self.next();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::VarDecl { name, float, init })
+            }
+            Tok::If => self.if_stmt(),
+            Tok::While => {
+                self.next();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::For => {
+                self.next();
+                self.expect(Tok::LParen)?;
+                let init = if *self.peek() == Tok::Semi {
+                    self.next();
+                    None
+                } else {
+                    let s = self.simple_stmt()?;
+                    self.expect(Tok::Semi)?;
+                    Some(Box::new(s))
+                };
+                let cond = self.expr()?;
+                self.expect(Tok::Semi)?;
+                let step = if *self.peek() == Tok::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            Tok::Break => {
+                self.next();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Break)
+            }
+            Tok::Continue => {
+                self.next();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            Tok::Return => {
+                self.next();
+                let v = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return(v))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(Tok::If)?;
+        self.expect(Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Tok::RParen)?;
+        let then_body = self.block()?;
+        let else_body = if *self.peek() == Tok::Else {
+            self.next();
+            if *self.peek() == Tok::If {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            vec![]
+        };
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    /// Assignment or expression statement (no trailing `;`).
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        // Lookahead for `ident =` or `ident [ ... ] =`.
+        if let Tok::Ident(name) = self.peek().clone() {
+            let save = self.pos;
+            self.next();
+            match self.peek().clone() {
+                Tok::Assign => {
+                    self.next();
+                    let value = self.expr()?;
+                    return Ok(Stmt::Assign {
+                        lvalue: LValue::Var(name),
+                        value,
+                    });
+                }
+                Tok::LBracket => {
+                    self.next();
+                    let index = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    if *self.peek() == Tok::Assign {
+                        self.next();
+                        let value = self.expr()?;
+                        return Ok(Stmt::Assign {
+                            lvalue: LValue::Index {
+                                name,
+                                index: Box::new(index),
+                            },
+                            value,
+                        });
+                    }
+                    self.pos = save;
+                }
+                _ => self.pos = save,
+            }
+        }
+        Ok(Stmt::ExprStmt(self.expr()?))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.bin_expr(0)
+    }
+
+    fn bin_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::PipePipe => (BinOp::LOr, 1),
+                Tok::AmpAmp => (BinOp::LAnd, 2),
+                Tok::Pipe => (BinOp::Or, 3),
+                Tok::Caret => (BinOp::Xor, 4),
+                Tok::Amp => (BinOp::And, 5),
+                Tok::Eq => (BinOp::Eq, 6),
+                Tok::Ne => (BinOp::Ne, 6),
+                Tok::Lt => (BinOp::Lt, 7),
+                Tok::Le => (BinOp::Le, 7),
+                Tok::Gt => (BinOp::Gt, 7),
+                Tok::Ge => (BinOp::Ge, 7),
+                Tok::Shl => (BinOp::Shl, 8),
+                Tok::Shr => (BinOp::Shr, 8),
+                Tok::Plus => (BinOp::Add, 9),
+                Tok::Minus => (BinOp::Sub, 9),
+                Tok::Star => (BinOp::Mul, 10),
+                Tok::Slash => (BinOp::Div, 10),
+                Tok::Percent => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.next();
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.next();
+                Ok(Expr::Un {
+                    op: UnOp::Neg,
+                    expr: Box::new(self.unary()?),
+                })
+            }
+            Tok::Tilde => {
+                self.next();
+                Ok(Expr::Un {
+                    op: UnOp::Not,
+                    expr: Box::new(self.unary()?),
+                })
+            }
+            Tok::Bang => {
+                self.next();
+                Ok(Expr::Un {
+                    op: UnOp::LNot,
+                    expr: Box::new(self.unary()?),
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.next();
+                Ok(Expr::Int(v))
+            }
+            Tok::Float(v) => {
+                self.next();
+                Ok(Expr::Float(v))
+            }
+            Tok::LParen => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.next();
+                match self.peek() {
+                    Tok::LParen => {
+                        self.next();
+                        let mut args = Vec::new();
+                        if *self.peek() != Tok::RParen {
+                            loop {
+                                args.push(self.expr()?);
+                                if *self.peek() == Tok::Comma {
+                                    self.next();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(Tok::RParen)?;
+                        Ok(Expr::Call { name, args })
+                    }
+                    Tok::LBracket => {
+                        self.next();
+                        let index = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        Ok(Expr::Index {
+                            name,
+                            index: Box::new(index),
+                        })
+                    }
+                    _ => Ok(Expr::Var(name)),
+                }
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse("fn main() { print(1); }").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+        assert_eq!(p.funcs[0].body.len(), 1);
+    }
+
+    #[test]
+    fn parses_globals() {
+        let p = parse(
+            r#"
+            global x;
+            global tab[4] = { 1, 2, -3, 4 };
+            bglobal msg[8] = "hi";
+            fglobal coef[2] = { 0.5, -1.25 };
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.globals.len(), 4);
+        assert_eq!(p.globals[1].init, GlobalInit::IntList(vec![1, 2, -3, 4]));
+        assert_eq!(p.globals[2].init, GlobalInit::Str("hi".into()));
+        assert_eq!(p.globals[3].init, GlobalInit::FloatList(vec![0.5, -1.25]));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("fn f() { var x; x = 1 + 2 * 3; }").unwrap();
+        match &p.funcs[0].body[1] {
+            Stmt::Assign {
+                value:
+                    Expr::Bin {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    },
+                ..
+            } => {
+                assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r#"
+            fn f(n) {
+                var s; s = 0;
+                for (var_i = 0; var_i < n; var_i = var_i + 1) { s = s + var_i; }
+                while (s > 100) { s = s - 100; if (s == 50) { break; } else { continue; } }
+                return s;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.funcs[0].params, vec!["n"]);
+        assert!(matches!(p.funcs[0].body[2], Stmt::For { .. }));
+        assert!(matches!(p.funcs[0].body[3], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_array_assignment() {
+        let p = parse("global a[4]; fn f() { a[2] = a[1] + 1; }").unwrap();
+        assert!(matches!(
+            p.funcs[0].body[0],
+            Stmt::Assign {
+                lvalue: LValue::Index { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn short_circuit_precedence() {
+        let p =
+            parse("fn f(a, b) { if (a < 1 && b > 2 || a == b) { return 1; } return 0; }").unwrap();
+        match &p.funcs[0].body[0] {
+            Stmt::If {
+                cond:
+                    Expr::Bin {
+                        op: BinOp::LOr,
+                        lhs,
+                        ..
+                    },
+                ..
+            } => {
+                assert!(matches!(
+                    **lhs,
+                    Expr::Bin {
+                        op: BinOp::LAnd,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse(
+            "fn f(x) { if (x) { return 1; } else if (x > 1) { return 2; } else { return 3; } }",
+        );
+        assert!(p.is_ok());
+    }
+
+    #[test]
+    fn rejects_seven_params() {
+        assert!(parse("fn f(a,b,c,d,e,g,h) { }").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("fn f() { var; }").is_err());
+        assert!(parse("fn f() { x = ; }").is_err());
+        assert!(parse("fn f() {").is_err());
+        assert!(parse("global g[0];").is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Block-local common-subexpression elimination via value numbering.
+//!
+//! Within a block, a pure instruction whose `(operator, operands)` tuple
+//! was already computed — and whose operands have not been redefined
+//! since — is replaced by a copy from the earlier result. Loads are
+//! excluded (stores/calls could intervene); copy propagation then melts
+//! the inserted moves.
+
+use std::collections::HashMap;
+use tinker_ir::{Function, IUnOp, Inst, VReg};
+
+/// A pure computation's identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    IConst(i64),
+    /// Bit pattern, so -0.0 and NaN payloads stay distinct.
+    FConst(u32),
+    GlobalAddr(u32),
+    IBin(u8, u32, u32),
+    IUn(u8, u32),
+    FBin(u8, u32, u32),
+    FNeg(u32),
+    FAbs(u32),
+    CvtIF(u32),
+    CvtFI(u32),
+}
+
+fn key_of(inst: &Inst) -> Option<Key> {
+    Some(match inst {
+        Inst::IConst { value, .. } => Key::IConst(*value),
+        Inst::FConst { value, .. } => Key::FConst(value.to_bits()),
+        Inst::GlobalAddr { global, .. } => Key::GlobalAddr(global.0),
+        Inst::IBin { op, a, b, .. } => Key::IBin(*op as u8, a.0, b.0),
+        Inst::IUn { op, a, .. } => Key::IUn(*op as u8, a.0),
+        Inst::FBin { op, a, b, .. } => Key::FBin(*op as u8, a.0, b.0),
+        Inst::FNeg { a, .. } => Key::FNeg(a.0),
+        Inst::FAbs { a, .. } => Key::FAbs(a.0),
+        Inst::CvtIF { a, .. } => Key::CvtIF(a.0),
+        Inst::CvtFI { a, .. } => Key::CvtFI(a.0),
+        _ => return None,
+    })
+}
+
+/// Registers a key reads (for invalidation).
+fn key_operands(k: &Key) -> Vec<u32> {
+    match k {
+        Key::IConst(_) | Key::FConst(_) | Key::GlobalAddr(_) => vec![],
+        Key::IBin(_, a, b) | Key::FBin(_, a, b) => vec![*a, *b],
+        Key::IUn(_, a) | Key::FNeg(a) | Key::FAbs(a) | Key::CvtIF(a) | Key::CvtFI(a) => {
+            vec![*a]
+        }
+    }
+}
+
+/// Runs the pass; returns true when anything changed.
+pub fn run(f: &mut Function) -> bool {
+    let mut changed = false;
+    for block in &mut f.blocks {
+        // key → vreg currently holding the value.
+        let mut available: HashMap<Key, VReg> = HashMap::new();
+        for inst in &mut block.insts {
+            let key = key_of(inst);
+            if let Some(k) = &key {
+                if let Some(&prev) = available.get(k) {
+                    // Replace with a copy; classes agree by construction.
+                    let dst = inst.def().expect("pure insts define");
+                    if dst != prev {
+                        let is_float = matches!(
+                            k,
+                            Key::FConst(_)
+                                | Key::FBin(..)
+                                | Key::FNeg(_)
+                                | Key::FAbs(_)
+                                | Key::CvtIF(_)
+                        );
+                        *inst = if is_float {
+                            Inst::FMov { dst, a: prev }
+                        } else {
+                            Inst::IUn {
+                                op: IUnOp::Mov,
+                                dst,
+                                a: prev,
+                            }
+                        };
+                        changed = true;
+                    }
+                }
+            }
+            // Invalidate everything touching the (re)defined register.
+            if let Some(d) = inst.def() {
+                available.retain(|k, &mut v| v != d && !key_operands(k).contains(&d.0));
+                // Record the fresh value (from the possibly-rewritten inst).
+                if let Some(k) = key_of(inst) {
+                    // A Mov produced by the rewrite shouldn't shadow the
+                    // canonical entry; only record genuinely new keys.
+                    available.entry(k).or_insert(d);
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinker_ir::{FunctionBuilder, IBinOp, Module, RegClass, Terminator};
+
+    #[test]
+    fn eliminates_repeated_addition() {
+        let mut b = FunctionBuilder::new("f", 2, Some(RegClass::Int));
+        let e = b.entry();
+        let (x, y) = (b.param(0), b.param(1));
+        let s1 = b.ibin(e, IBinOp::Add, x, y);
+        let s2 = b.ibin(e, IBinOp::Add, x, y); // duplicate
+        let t = b.ibin(e, IBinOp::Mul, s1, s2);
+        b.set_term(e, Terminator::Ret(Some(t)));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert!(
+            matches!(f.blocks[0].insts[1], Inst::IUn { op: IUnOp::Mov, .. }),
+            "duplicate becomes a copy: {:?}",
+            f.blocks[0].insts[1]
+        );
+        let mut m = Module::new();
+        m.add_func(f);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn redefinition_blocks_reuse() {
+        // x = a+b; a = 0; y = a+b  →  second a+b must NOT reuse x.
+        let mut b = FunctionBuilder::new("f", 2, Some(RegClass::Int));
+        let e = b.entry();
+        let (a, c) = (b.param(0), b.param(1));
+        let _x = b.ibin(e, IBinOp::Add, a, c);
+        let z = b.iconst(e, 0);
+        b.push(
+            e,
+            Inst::IUn {
+                op: IUnOp::Mov,
+                dst: a,
+                a: z,
+            },
+        );
+        let y = b.ibin(e, IBinOp::Add, a, c);
+        b.set_term(e, Terminator::Ret(Some(y)));
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(
+            matches!(
+                f.blocks[0].insts.last(),
+                Some(Inst::IBin {
+                    op: IBinOp::Add,
+                    ..
+                })
+            ),
+            "must stay a real add"
+        );
+    }
+
+    #[test]
+    fn constants_are_deduplicated() {
+        let mut b = FunctionBuilder::new("f", 0, Some(RegClass::Int));
+        let e = b.entry();
+        let c1 = b.iconst(e, 42);
+        let c2 = b.iconst(e, 42);
+        let s = b.ibin(e, IBinOp::Add, c1, c2);
+        b.set_term(e, Terminator::Ret(Some(s)));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert!(matches!(
+            f.blocks[0].insts[1],
+            Inst::IUn { op: IUnOp::Mov, .. }
+        ));
+    }
+
+    #[test]
+    fn float_constants_compare_by_bits() {
+        let mut b = FunctionBuilder::new("f", 0, Some(RegClass::Int));
+        let e = b.entry();
+        let a = b.fconst(e, 0.0);
+        let c = b.fconst(e, -0.0); // different bit pattern!
+        let s = b.fbin(e, tinker_ir::FBinOp::Add, a, c);
+        let i = b.cvt_fi(e, s);
+        b.set_term(e, Terminator::Ret(Some(i)));
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(
+            matches!(f.blocks[0].insts[1], Inst::FConst { .. }),
+            "-0.0 must not be folded into 0.0"
+        );
+    }
+
+    #[test]
+    fn loads_are_never_cse_d() {
+        let mut b = FunctionBuilder::new("f", 1, Some(RegClass::Int));
+        let e = b.entry();
+        let p = b.param(0);
+        let l1 = b.load(e, tinker_ir::Width::Word, p, 0);
+        b.store(e, tinker_ir::Width::Word, p, 0, l1);
+        let l2 = b.load(e, tinker_ir::Width::Word, p, 0);
+        b.set_term(e, Terminator::Ret(Some(l2)));
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(
+            matches!(f.blocks[0].insts[2], Inst::Load { .. }),
+            "load stays a load"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Global dead-code elimination.
+//!
+//! Backward liveness fixpoint over the CFG; a side-effect-free
+//! instruction whose destination is dead after it is removed. Calls keep
+//! their side effects but drop an unused return value binding.
+
+use std::collections::HashSet;
+use tinker_ir::{Function, Inst};
+
+/// Runs the pass; returns true when anything changed.
+pub fn run(f: &mut Function) -> bool {
+    let nb = f.blocks.len();
+    // Block-level liveness over vreg ids.
+    let mut live_in: Vec<HashSet<u32>> = vec![HashSet::new(); nb];
+    let mut live_out: Vec<HashSet<u32>> = vec![HashSet::new(); nb];
+    let succs: Vec<Vec<u32>> = f
+        .blocks
+        .iter()
+        .map(|b| b.term.successors().iter().map(|s| s.0).collect())
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..nb).rev() {
+            let mut out: HashSet<u32> = HashSet::new();
+            for &s in &succs[bi] {
+                out.extend(live_in[s as usize].iter().copied());
+            }
+            // Backward through the block.
+            let mut live = out.clone();
+            let block = &f.blocks[bi];
+            for v in block.term.uses() {
+                live.insert(v.0);
+            }
+            for inst in block.insts.iter().rev() {
+                if let Some(d) = inst.def() {
+                    live.remove(&d.0);
+                }
+                for u in inst.uses() {
+                    live.insert(u.0);
+                }
+            }
+            if out != live_out[bi] || live != live_in[bi] {
+                changed = true;
+                live_out[bi] = out;
+                live_in[bi] = live;
+            }
+        }
+    }
+
+    // Sweep: delete dead side-effect-free instructions.
+    let mut any = false;
+    #[allow(clippy::needless_range_loop)] // parallel access to f.blocks[bi]
+    for bi in 0..nb {
+        let mut live = live_out[bi].clone();
+        for v in f.blocks[bi].term.uses() {
+            live.insert(v.0);
+        }
+        let block = &mut f.blocks[bi];
+        let mut keep: Vec<bool> = vec![true; block.insts.len()];
+        for (i, inst) in block.insts.iter_mut().enumerate().rev() {
+            let dead_def = inst.def().map(|d| !live.contains(&d.0)).unwrap_or(false);
+            if dead_def && !inst.has_side_effects() {
+                keep[i] = false;
+                any = true;
+                continue; // its uses do not become live
+            }
+            if dead_def {
+                // A call with an unused return value keeps its effects.
+                if let Inst::Call { ret, .. } = inst {
+                    *ret = None;
+                }
+            }
+            if let Some(d) = inst.def() {
+                live.remove(&d.0);
+            }
+            for u in inst.uses() {
+                live.insert(u.0);
+            }
+        }
+        let mut it = keep.iter();
+        block.insts.retain(|_| *it.next().unwrap());
+    }
+    any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinker_ir::{FunctionBuilder, IBinOp, Module, RegClass, Terminator, Width};
+
+    #[test]
+    fn removes_dead_arithmetic() {
+        let mut b = FunctionBuilder::new("f", 1, Some(RegClass::Int));
+        let e = b.entry();
+        let p = b.param(0);
+        let _dead = b.ibin(e, IBinOp::Add, p, p);
+        b.set_term(e, Terminator::Ret(Some(p)));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert!(f.blocks[0].insts.is_empty());
+    }
+
+    #[test]
+    fn keeps_stores_and_sys() {
+        let mut b = FunctionBuilder::new("f", 1, None);
+        let e = b.entry();
+        let p = b.param(0);
+        b.store(e, Width::Word, p, 0, p);
+        b.push(
+            e,
+            Inst::Sys {
+                code: tinker_ir::SysCode::PrintInt,
+                arg: p,
+            },
+        );
+        b.set_term(e, Terminator::Ret(None));
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.blocks[0].insts.len(), 2);
+    }
+
+    #[test]
+    fn keeps_call_but_drops_unused_ret() {
+        let mut m = Module::new();
+        let callee = m.add_func(FunctionBuilder::new("g", 0, Some(RegClass::Int)).finish());
+        let mut b = FunctionBuilder::new("f", 0, None);
+        let e = b.entry();
+        let _r = b.call(e, callee, vec![], Some(RegClass::Int));
+        b.set_term(e, Terminator::Ret(None));
+        let mut f = b.finish();
+        assert!(!run(&mut f) || !f.blocks[0].insts.is_empty());
+        match &f.blocks[0].insts[0] {
+            Inst::Call { ret, .. } => assert!(ret.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keeps_values_live_across_blocks() {
+        let mut b = FunctionBuilder::new("f", 1, Some(RegClass::Int));
+        let e = b.entry();
+        let p = b.param(0);
+        let v = b.ibin(e, IBinOp::Add, p, p); // used in the next block
+        let nxt = b.new_block();
+        b.set_term(e, Terminator::Jump(nxt));
+        b.set_term(nxt, Terminator::Ret(Some(v)));
+        let mut f = b.finish();
+        assert!(!run(&mut f), "nothing should be removed");
+        assert_eq!(f.blocks[0].insts.len(), 1);
+    }
+
+    #[test]
+    fn chains_of_dead_code_removed_in_one_run() {
+        let mut b = FunctionBuilder::new("f", 1, Some(RegClass::Int));
+        let e = b.entry();
+        let p = b.param(0);
+        let a = b.ibin(e, IBinOp::Add, p, p);
+        let c = b.ibin(e, IBinOp::Mul, a, a);
+        let _d = b.ibin(e, IBinOp::Sub, c, a);
+        b.set_term(e, Terminator::Ret(Some(p)));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert!(f.blocks[0].insts.is_empty(), "whole dead chain removed");
+    }
+}

@@ -1,0 +1,248 @@
+//! CFG simplification: jump threading through trivial blocks and
+//! unreachable-block elimination.
+//!
+//! A *trivial* block has no instructions and ends in an unconditional
+//! jump; branches to it are retargeted to its destination. Unreachable
+//! blocks are emptied in place (block indices stay stable, so no
+//! renumbering is needed; empty unreachable blocks cost nothing
+//! downstream because machine emission drops empty blocks).
+
+use std::collections::HashSet;
+use tinker_ir::{BlockRef, Function, Terminator};
+
+/// Runs the pass; returns true when anything changed.
+pub fn run(f: &mut Function) -> bool {
+    let mut changed = false;
+    changed |= thread_jumps(f);
+    changed |= drop_unreachable(f);
+    changed |= merge_straightline(f);
+    changed
+}
+
+/// Resolves chains of empty jump-only blocks.
+fn thread_jumps(f: &mut Function) -> bool {
+    let n = f.blocks.len();
+    // target[b] = ultimate destination when b is trivial.
+    let mut resolve: Vec<BlockRef> = (0..n as u32).map(BlockRef).collect();
+    for b in (0..n).rev() {
+        let blk = &f.blocks[b];
+        if blk.insts.is_empty() {
+            if let Terminator::Jump(t) = blk.term {
+                // Avoid cycles of empty blocks (infinite empty loop).
+                let r = resolve[t.0 as usize];
+                if r.0 as usize != b {
+                    resolve[b] = r;
+                }
+            }
+        }
+    }
+    let mut changed = false;
+    for b in 0..n {
+        let term = &mut f.blocks[b].term;
+        match term {
+            Terminator::Jump(t) => {
+                let r = resolve[t.0 as usize];
+                if r != *t {
+                    *t = r;
+                    changed = true;
+                }
+            }
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => {
+                let rt = resolve[then_bb.0 as usize];
+                let re = resolve[else_bb.0 as usize];
+                if rt != *then_bb {
+                    *then_bb = rt;
+                    changed = true;
+                }
+                if re != *else_bb {
+                    *else_bb = re;
+                    changed = true;
+                }
+                // Both arms equal → plain jump.
+                if *then_bb == *else_bb {
+                    let t = *then_bb;
+                    *term = Terminator::Jump(t);
+                    changed = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    changed
+}
+
+/// Empties blocks unreachable from the entry.
+fn drop_unreachable(f: &mut Function) -> bool {
+    let n = f.blocks.len();
+    let mut seen = HashSet::new();
+    let mut work = vec![f.entry()];
+    while let Some(b) = work.pop() {
+        if !seen.insert(b.0) {
+            continue;
+        }
+        for s in f.block(b).term.successors() {
+            work.push(s);
+        }
+    }
+    let mut changed = false;
+    for b in 0..n {
+        if !seen.contains(&(b as u32)) {
+            let blk = &mut f.blocks[b];
+            if !blk.insts.is_empty() || blk.term != Terminator::Halt {
+                blk.insts.clear();
+                blk.term = Terminator::Halt;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Merges a block with its unique successor when that successor has no
+/// other predecessors (classic straight-line merging). Improves block
+/// sizes (the paper's atomic fetch unit) without changing semantics.
+fn merge_straightline(f: &mut Function) -> bool {
+    // Predecessor counts.
+    let n = f.blocks.len();
+    let mut pred_count = vec![0usize; n];
+    for b in 0..n {
+        for s in f.blocks[b].term.successors() {
+            pred_count[s.0 as usize] += 1;
+        }
+    }
+    let mut changed = false;
+    for b in 0..n {
+        while let Terminator::Jump(t) = f.blocks[b].term {
+            let ti = t.0 as usize;
+            if ti == b || pred_count[ti] != 1 || ti == f.entry().0 as usize {
+                break;
+            }
+            // Splice successor into b.
+            let succ_insts = std::mem::take(&mut f.blocks[ti].insts);
+            let succ_term = std::mem::replace(&mut f.blocks[ti].term, Terminator::Halt);
+            let blk = &mut f.blocks[b];
+            blk.insts.extend(succ_insts);
+            blk.term = succ_term;
+            pred_count[ti] = 0;
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinker_ir::{Cond, FunctionBuilder, RegClass};
+
+    #[test]
+    fn threads_through_empty_block() {
+        let mut b = FunctionBuilder::new("f", 1, Some(RegClass::Int));
+        let e = b.entry();
+        let mid = b.new_block();
+        let end = b.new_block();
+        let p = b.param(0);
+        b.set_term(e, Terminator::Jump(mid));
+        b.set_term(mid, Terminator::Jump(end));
+        b.set_term(end, Terminator::Ret(Some(p)));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        // After threading + merging, the entry goes straight to (or
+        // contains) the return.
+        match &f.blocks[0].term {
+            Terminator::Ret(_) => {}
+            Terminator::Jump(t) => assert_eq!(*t, end),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn condbr_same_arms_becomes_jump() {
+        let mut b = FunctionBuilder::new("f", 1, Some(RegClass::Int));
+        let e = b.entry();
+        let stub1 = b.new_block();
+        let stub2 = b.new_block();
+        let end = b.new_block();
+        let p0 = b.param(0);
+        let z = b.iconst(e, 0);
+        let p = b.icmp(e, Cond::Lt, p0, z);
+        b.set_term(
+            e,
+            Terminator::CondBr {
+                pred: p,
+                then_bb: stub1,
+                else_bb: stub2,
+            },
+        );
+        b.set_term(stub1, Terminator::Jump(end));
+        b.set_term(stub2, Terminator::Jump(end));
+        b.set_term(end, Terminator::Ret(Some(p0)));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert!(matches!(
+            f.blocks[0].term,
+            Terminator::Jump(_) | Terminator::Ret(_)
+        ));
+    }
+
+    #[test]
+    fn unreachable_blocks_emptied() {
+        let mut b = FunctionBuilder::new("f", 0, None);
+        let e = b.entry();
+        b.set_term(e, Terminator::Ret(None));
+        let orphan = b.new_block();
+        let one = b.iconst(orphan, 1);
+        b.set_term(orphan, Terminator::Ret(Some(one)));
+        let mut f = b.finish();
+        // fix class: orphan returns Some but f ret None → make it valid
+        f.blocks[orphan.0 as usize].term = Terminator::Ret(None);
+        assert!(run(&mut f));
+        assert!(f.blocks[orphan.0 as usize].insts.is_empty());
+        assert_eq!(f.blocks[orphan.0 as usize].term, Terminator::Halt);
+    }
+
+    #[test]
+    fn merges_single_pred_chain() {
+        let mut b = FunctionBuilder::new("f", 1, Some(RegClass::Int));
+        let e = b.entry();
+        let nxt = b.new_block();
+        let p = b.param(0);
+        let v = b.iconst(e, 1);
+        b.set_term(e, Terminator::Jump(nxt));
+        let s = b.ibin(nxt, tinker_ir::IBinOp::Add, p, v);
+        b.set_term(nxt, Terminator::Ret(Some(s)));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert!(matches!(f.blocks[0].term, Terminator::Ret(_)));
+        assert_eq!(f.blocks[0].insts.len(), 2);
+    }
+
+    #[test]
+    fn does_not_merge_into_loop_header() {
+        let mut b = FunctionBuilder::new("f", 1, Some(RegClass::Int));
+        let e = b.entry();
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.set_term(e, Terminator::Jump(head));
+        let p0 = b.param(0);
+        let z = b.iconst(head, 0);
+        let p = b.icmp(head, Cond::Gt, p0, z);
+        b.set_term(
+            head,
+            Terminator::CondBr {
+                pred: p,
+                then_bb: body,
+                else_bb: exit,
+            },
+        );
+        b.set_term(body, Terminator::Jump(head));
+        b.set_term(exit, Terminator::Ret(Some(p0)));
+        let mut f = b.finish();
+        run(&mut f);
+        // head has two predecessors; entry must still jump to it.
+        assert_eq!(f.blocks[0].term, Terminator::Jump(head));
+    }
+}

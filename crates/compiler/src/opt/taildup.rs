@@ -1,0 +1,178 @@
+//! Tail duplication — enlarging basic blocks by cloning small join
+//! blocks into their jump predecessors.
+//!
+//! The paper's §1 notes that the VLIW/superscalar code-size gap is kept
+//! down "by restricting code duplication in the compiler to RISC-like
+//! levels": duplication buys larger atomic fetch blocks (fewer block
+//! boundaries, fewer prediction points, denser MOPs) at the price of ROM
+//! bytes — the exact currency this paper is about. The pass is therefore
+//! off by default and driven by [`crate::Options::tail_duplicate`]; the
+//! `ext_tail_duplication` experiment quantifies the trade.
+//!
+//! Mechanics: a block `J` with several predecessors and at most
+//! `max_insts` instructions is cloned into every predecessor that ends
+//! in an unconditional `Jump(J)` (the clone simply replaces the jump).
+//! Registers are *not* renamed — the IR is not SSA, and the clones live
+//! on disjoint control paths, so the copied assignments are semantically
+//! identical. Unreachable originals are swept by the CFG simplifier.
+
+use tinker_ir::{BlockRef, Function, Terminator};
+
+/// Runs one round of tail duplication; returns true when anything
+/// changed. Self-loops are never duplicated.
+pub fn run(f: &mut Function, max_insts: usize) -> bool {
+    let n = f.blocks.len();
+    // Predecessor counts (entry gets a virtual one).
+    let mut preds: Vec<Vec<BlockRef>> = vec![Vec::new(); n];
+    for b in f.block_refs() {
+        for s in f.block(b).term.successors() {
+            preds[s.0 as usize].push(b);
+        }
+    }
+    let mut changed = false;
+    for j in 0..n as u32 {
+        let jref = BlockRef(j);
+        if preds[j as usize].len() < 2 {
+            continue;
+        }
+        let jb = f.block(jref);
+        if jb.insts.len() > max_insts {
+            continue;
+        }
+        // Never duplicate a block that can reach itself in one step (the
+        // clone would grow a loop body every round).
+        if jb.term.successors().contains(&jref) {
+            continue;
+        }
+        let insts = jb.insts.clone();
+        let term = jb.term.clone();
+        for &p in &preds[j as usize] {
+            if p == jref {
+                continue;
+            }
+            let pb = f.block_mut(p);
+            if pb.term == Terminator::Jump(jref) {
+                pb.insts.extend(insts.iter().cloned());
+                pb.term = term.clone();
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinker_ir::{Cond, FunctionBuilder, IBinOp, Module, RegClass, SysCode, Terminator};
+
+    /// Diamond whose join block prints — classic tail-dup target.
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("f", 1, Some(RegClass::Int));
+        let e = b.entry();
+        let t = b.new_block();
+        let el = b.new_block();
+        let join = b.new_block();
+        let p0 = b.param(0);
+        let z = b.iconst(e, 0);
+        let p = b.icmp(e, Cond::Gt, p0, z);
+        b.set_term(
+            e,
+            Terminator::CondBr {
+                pred: p,
+                then_bb: t,
+                else_bb: el,
+            },
+        );
+        let one = b.iconst(t, 1);
+        b.push(
+            t,
+            tinker_ir::Inst::IUn {
+                op: tinker_ir::IUnOp::Mov,
+                dst: p0,
+                a: one,
+            },
+        );
+        b.set_term(t, Terminator::Jump(join));
+        let two = b.iconst(el, 2);
+        b.push(
+            el,
+            tinker_ir::Inst::IUn {
+                op: tinker_ir::IUnOp::Mov,
+                dst: p0,
+                a: two,
+            },
+        );
+        b.set_term(el, Terminator::Jump(join));
+        let s = b.ibin(join, IBinOp::Add, p0, p0);
+        b.push(
+            join,
+            tinker_ir::Inst::Sys {
+                code: SysCode::PrintInt,
+                arg: s,
+            },
+        );
+        b.set_term(join, Terminator::Ret(Some(s)));
+        b.finish()
+    }
+
+    #[test]
+    fn duplicates_join_into_both_arms() {
+        let mut f = diamond();
+        assert!(run(&mut f, 8));
+        // Both arms now end in Ret (the join's terminator).
+        assert!(matches!(f.blocks[1].term, Terminator::Ret(_)));
+        assert!(matches!(f.blocks[2].term, Terminator::Ret(_)));
+        // And contain the join's instructions.
+        assert!(f.blocks[1].insts.len() >= 4);
+        let mut m = Module::new();
+        m.add_func(f);
+        m.verify().expect("still valid IR");
+    }
+
+    #[test]
+    fn respects_size_threshold() {
+        let mut f = diamond();
+        assert!(!run(&mut f, 1), "join has 2 insts; threshold 1 must refuse");
+        assert!(matches!(f.blocks[1].term, Terminator::Jump(_)));
+    }
+
+    #[test]
+    fn never_duplicates_self_loops() {
+        let mut b = FunctionBuilder::new("f", 1, None);
+        let e = b.entry();
+        let l = b.new_block();
+        b.set_term(e, Terminator::Jump(l));
+        let p0 = b.param(0);
+        let z = b.iconst(l, 0);
+        let p = b.icmp(l, Cond::Gt, p0, z);
+        let exit = b.new_block();
+        b.set_term(
+            l,
+            Terminator::CondBr {
+                pred: p,
+                then_bb: l,
+                else_bb: exit,
+            },
+        );
+        b.set_term(exit, Terminator::Ret(None));
+        let mut f = b.finish();
+        assert!(!run(&mut f, 16), "self-looping block must not be cloned");
+    }
+
+    #[test]
+    fn conditional_predecessors_keep_the_original() {
+        // A join reached by a CondBr arm keeps the original block; only
+        // Jump predecessors get clones.
+        let mut f = diamond();
+        // Rewire the else arm to fall into join via CondBr (synthetic).
+        f.blocks[2].term = Terminator::CondBr {
+            pred: tinker_ir::VReg(2), // the predicate from entry
+            then_bb: BlockRef(3),
+            else_bb: BlockRef(3),
+        };
+        run(&mut f, 8);
+        // Block 3 must still exist with its code (referenced by CondBr).
+        assert!(!f.blocks[3].insts.is_empty());
+    }
+}

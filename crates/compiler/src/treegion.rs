@@ -1,0 +1,222 @@
+//! Treegion formation and treegion-guided block layout.
+//!
+//! A *treegion* (Havanki/Banerjia/Conte) is a single-entry tree of basic
+//! blocks: block `b` joins its parent's treegion when `b` has exactly one
+//! CFG predecessor. Side entrances (join points) and loop headers start
+//! new treegions. The LEGO compiler schedules over treegions and then
+//! decomposes back into basic blocks (paper §2.1, §3.1 note); here the
+//! formation drives **block layout**: blocks of one treegion are laid out
+//! depth-first, preferring the statically likelier child as the
+//! fall-through successor, which maximizes sequential fetch in the atomic
+//! block discipline.
+
+use std::collections::HashSet;
+use tinker_ir::{BlockRef, CfgInfo, Function};
+
+/// One treegion: blocks forming a single-entry tree in the CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Treegion {
+    /// The tree root (its only entry point).
+    pub root: BlockRef,
+    /// Member blocks in depth-first order (root first).
+    pub blocks: Vec<BlockRef>,
+}
+
+/// Partitions the reachable CFG into treegions.
+///
+/// Every reachable block belongs to exactly one treegion; a block roots a
+/// new treegion iff it is the function entry, has more than one
+/// predecessor, or is the target of a back edge.
+pub fn form_treegions(func: &Function, cfg: &CfgInfo) -> Vec<Treegion> {
+    let mut regions = Vec::new();
+    let mut assigned: HashSet<u32> = HashSet::new();
+
+    // Roots: entry + join points + loop headers, in RPO for determinism.
+    let is_root = |b: BlockRef| -> bool {
+        b == func.entry() || cfg.preds[b.0 as usize].len() != 1 || {
+            // Back-edge target: a predecessor later in RPO.
+            let my = cfg.rpo_index[b.0 as usize];
+            cfg.preds[b.0 as usize]
+                .iter()
+                .any(|p| cfg.rpo_index[p.0 as usize] >= my)
+        }
+    };
+
+    for &root in &cfg.rpo {
+        if assigned.contains(&root.0) || !is_root(root) {
+            continue;
+        }
+        let mut blocks = Vec::new();
+        // DFS over single-pred children, likelier child first.
+        let mut stack = vec![root];
+        while let Some(b) = stack.pop() {
+            if assigned.contains(&b.0) {
+                continue;
+            }
+            assigned.insert(b.0);
+            blocks.push(b);
+            let mut children: Vec<BlockRef> = cfg.succs[b.0 as usize]
+                .iter()
+                .copied()
+                .filter(|&s| !is_root(s) && !assigned.contains(&s.0))
+                .collect();
+            // Push the likelier child last so DFS visits it first.
+            children.sort_by_key(|&c| cfg.static_freq(c));
+            stack.extend(children);
+        }
+        regions.push(Treegion { root, blocks });
+    }
+
+    // Any block not yet assigned (e.g. unreachable-from-roots oddities)
+    // becomes its own region, preserving totality.
+    for &b in &cfg.rpo {
+        if !assigned.contains(&b.0) {
+            assigned.insert(b.0);
+            regions.push(Treegion {
+                root: b,
+                blocks: vec![b],
+            });
+        }
+    }
+    regions
+}
+
+/// Produces a block layout: treegions in RPO-of-roots order, each
+/// treegion's blocks contiguous in tree order. The entry block is always
+/// first. Unreachable blocks are appended at the end (they still need
+/// addresses).
+pub fn layout_order(func: &Function, cfg: &CfgInfo) -> Vec<BlockRef> {
+    let regions = form_treegions(func, cfg);
+    let mut order: Vec<BlockRef> = Vec::with_capacity(func.blocks.len());
+    let mut seen = HashSet::new();
+    for r in &regions {
+        for &b in &r.blocks {
+            if seen.insert(b.0) {
+                order.push(b);
+            }
+        }
+    }
+    for b in func.block_refs() {
+        if seen.insert(b.0) {
+            order.push(b);
+        }
+    }
+    debug_assert_eq!(order.len(), func.blocks.len());
+    debug_assert_eq!(order.first(), Some(&func.entry()));
+    order
+}
+
+/// Simple statistics over a function's treegions (reported by the
+/// experiment harness; the paper motivates treegions by their size).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreegionStats {
+    /// Number of treegions.
+    pub count: usize,
+    /// Mean blocks per treegion.
+    pub avg_blocks: f64,
+    /// Largest treegion, in blocks.
+    pub max_blocks: usize,
+}
+
+/// Computes [`TreegionStats`] for a function.
+pub fn stats(func: &Function, cfg: &CfgInfo) -> TreegionStats {
+    let regions = form_treegions(func, cfg);
+    let total: usize = regions.iter().map(|r| r.blocks.len()).sum();
+    TreegionStats {
+        count: regions.len(),
+        avg_blocks: if regions.is_empty() {
+            0.0
+        } else {
+            total as f64 / regions.len() as f64
+        },
+        max_blocks: regions.iter().map(|r| r.blocks.len()).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{lower_program, parser::parse};
+    use tinker_ir::CfgInfo;
+
+    fn func_of(src: &str) -> tinker_ir::Function {
+        let m = lower_program(&parse(src).unwrap()).unwrap();
+        let (_, f) = m.func_by_name("main").unwrap();
+        f.clone()
+    }
+
+    #[test]
+    fn every_block_in_exactly_one_region() {
+        let f = func_of(
+            "fn main() { var i = 0; while (i < 5) { if (i > 2) { print(i); } i = i + 1; } }",
+        );
+        let cfg = CfgInfo::compute(&f);
+        let regions = form_treegions(&f, &cfg);
+        let mut count = vec![0usize; f.blocks.len()];
+        for r in &regions {
+            for b in &r.blocks {
+                count[b.0 as usize] += 1;
+            }
+        }
+        for (i, &c) in count.iter().enumerate() {
+            if cfg.is_reachable(BlockRef(i as u32)) {
+                assert_eq!(c, 1, "block {i} in {c} regions");
+            }
+        }
+    }
+
+    #[test]
+    fn roots_are_single_entry() {
+        let f =
+            func_of("fn main() { var x = 1; if (x) { print(1); } else { print(2); } print(3); }");
+        let cfg = CfgInfo::compute(&f);
+        for r in form_treegions(&f, &cfg) {
+            // Non-root members must have exactly one predecessor.
+            for &b in &r.blocks[1..] {
+                assert_eq!(
+                    cfg.preds[b.0 as usize].len(),
+                    1,
+                    "side entrance into treegion"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layout_starts_at_entry_and_is_a_permutation() {
+        let f = func_of(
+            "fn main() { var i = 0; for (i = 0; i < 9; i = i + 1) { if (i % 2) { print(i); } } }",
+        );
+        let cfg = CfgInfo::compute(&f);
+        let order = layout_order(&f, &cfg);
+        assert_eq!(order[0], f.entry());
+        let mut sorted: Vec<u32> = order.iter().map(|b| b.0).collect();
+        sorted.sort_unstable();
+        let expect: Vec<u32> = (0..f.blocks.len() as u32).collect();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn loop_header_roots_a_region() {
+        let f = func_of("fn main() { var i = 0; while (i < 3) { i = i + 1; } print(i); }");
+        let cfg = CfgInfo::compute(&f);
+        let regions = form_treegions(&f, &cfg);
+        // Find the block with loop_depth 1 and >1 preds — the header must
+        // be some region's root.
+        let header = f
+            .block_refs()
+            .find(|&b| cfg.loop_depth[b.0 as usize] == 1 && cfg.preds[b.0 as usize].len() > 1)
+            .expect("loop header exists");
+        assert!(regions.iter().any(|r| r.root == header));
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let f = func_of("fn main() { print(1); }");
+        let cfg = CfgInfo::compute(&f);
+        let s = stats(&f, &cfg);
+        assert!(s.count >= 1);
+        assert!(s.max_blocks >= 1);
+        assert!(s.avg_blocks >= 1.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! The Base (uncompressed) encoding: 5 bytes per operation, exactly the
+//! original image. Exists so the fetch simulator and the power model can
+//! treat all encodings uniformly.
+
+use super::{BlockCodec, CompressError, Scheme, SchemeOutput};
+use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
+use tepic_isa::{Program, OP_BYTES};
+
+/// The identity "scheme".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaseScheme;
+
+/// Builds the base image directly (no `Result`: it cannot fail for a
+/// valid program).
+pub fn encode_base(program: &Program) -> EncodedProgram {
+    let bytes = program.code_bytes();
+    let mut block_start = Vec::with_capacity(program.num_blocks());
+    let mut block_bytes = Vec::with_capacity(program.num_blocks());
+    for b in 0..program.num_blocks() {
+        let (s, e) = program.block_byte_range(b);
+        block_start.push(s);
+        block_bytes.push((e - s) as u32);
+    }
+    EncodedProgram {
+        kind: SchemeKind::Base,
+        bytes,
+        block_start,
+        block_bytes,
+        decoder: DecoderCost::None,
+    }
+}
+
+struct BaseCodec;
+
+impl BlockCodec for BaseCodec {
+    fn decode_block(&self, image: &EncodedProgram, b: usize, num_ops: usize) -> Option<Vec<u64>> {
+        let start = image.block_start[b] as usize;
+        let mut out = Vec::with_capacity(num_ops);
+        for i in 0..num_ops {
+            let off = start + i * OP_BYTES;
+            let chunk = image.bytes.get(off..off + OP_BYTES)?;
+            let mut w = [0u8; 8];
+            w[..OP_BYTES].copy_from_slice(chunk);
+            out.push(u64::from_le_bytes(w));
+        }
+        Some(out)
+    }
+}
+
+impl Scheme for BaseScheme {
+    fn name(&self) -> String {
+        "base".to_string()
+    }
+
+    fn compress(&self, program: &Program) -> Result<SchemeOutput, CompressError> {
+        if program.num_ops() == 0 {
+            return Err(CompressError::EmptyProgram);
+        }
+        Ok(SchemeOutput {
+            image: encode_base(program),
+            codec: Box::new(BaseCodec),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::testutil::sample_program;
+
+    #[test]
+    fn base_is_identity() {
+        let p = sample_program();
+        let out = BaseScheme.compress(&p).unwrap();
+        assert_eq!(out.image.total_bytes(), p.code_size());
+        assert!((out.image.ratio(p.code_size()) - 1.0).abs() < 1e-12);
+        assert!(out.verify_roundtrip(&p));
+        assert_eq!(out.image.decoder.transistors(), 0);
+    }
+
+    #[test]
+    fn block_ranges_match_program() {
+        let p = sample_program();
+        let img = encode_base(&p);
+        for b in 0..p.num_blocks() {
+            assert_eq!(img.block_range(b), p.block_byte_range(b));
+        }
+        assert!(img.check_layout());
+    }
+}

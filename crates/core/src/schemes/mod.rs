@@ -1,0 +1,274 @@
+//! The compression schemes (paper §2.2) and the tailored encoder (§2.3).
+//!
+//! Each scheme implements [`Scheme`], producing a [`SchemeOutput`] whose
+//! [`SchemeOutput::verify_roundtrip`] proves losslessness against the
+//! original program. The module-level table of all standard schemes
+//! ([`standard_schemes`]) drives the Figure-5/7/10 experiments.
+
+pub mod base;
+pub mod byte;
+pub mod full;
+pub mod pair;
+pub mod stream;
+pub mod tailored;
+
+use crate::encoded::EncodedProgram;
+use std::fmt;
+use tepic_isa::Program;
+
+/// Compression failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompressError {
+    /// The program has no code.
+    EmptyProgram,
+    /// Huffman construction failed (propagated).
+    Huffman(tinker_huffman::HuffmanError),
+    /// A field value exceeded the tailored width computed for it — an
+    /// internal invariant violation.
+    TailoredOverflow { field: &'static str },
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::EmptyProgram => write!(f, "program has no code"),
+            CompressError::Huffman(e) => write!(f, "huffman failure: {e}"),
+            CompressError::TailoredOverflow { field } => {
+                write!(f, "tailored width overflow in field {field}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+impl From<tinker_huffman::HuffmanError> for CompressError {
+    fn from(e: tinker_huffman::HuffmanError) -> Self {
+        CompressError::Huffman(e)
+    }
+}
+
+/// A scheme's full output: the image plus the codec needed to decode it
+/// (in hardware this is the PLA contents; here it also powers the
+/// round-trip verification).
+pub struct SchemeOutput {
+    /// The encoded image.
+    pub image: EncodedProgram,
+    /// Block decoder: given the image bytes and a block id, reproduce the
+    /// original 40-bit words of that block.
+    pub codec: Box<dyn BlockCodec>,
+}
+
+impl fmt::Debug for SchemeOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchemeOutput")
+            .field("image", &self.image)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SchemeOutput {
+    /// Decodes every block and compares with the original op words.
+    pub fn verify_roundtrip(&self, program: &Program) -> bool {
+        for b in 0..program.num_blocks() {
+            let expect: Vec<u64> = program.block_ops(b).iter().map(|o| o.encode()).collect();
+            match self.codec.decode_block(&self.image, b, expect.len()) {
+                Some(words) if words == expect => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// Decoding interface over an [`EncodedProgram`].
+pub trait BlockCodec {
+    /// Decodes block `b` (which holds `num_ops` operations) back to its
+    /// original 40-bit words. `None` on malformed input.
+    fn decode_block(&self, image: &EncodedProgram, b: usize, num_ops: usize) -> Option<Vec<u64>>;
+}
+
+/// A compression scheme.
+pub trait Scheme {
+    /// Short name as used in the paper's figures (`byte`, `stream`,
+    /// `stream_1`, `full`, `tailored`, `base`).
+    fn name(&self) -> String;
+
+    /// Compresses a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError`] when the program cannot be encoded.
+    fn compress(&self, program: &Program) -> Result<SchemeOutput, CompressError>;
+}
+
+/// The scheme line-up of the paper's Figure 5: byte-wise, the two best
+/// stream configurations (`stream` = smallest decoder, `stream_1` =
+/// smallest code), Full, and Tailored.
+pub fn standard_schemes() -> Vec<Box<dyn Scheme>> {
+    vec![
+        Box::new(byte::ByteScheme::default()),
+        Box::new(stream::StreamScheme::named("stream").expect("builtin config")),
+        Box::new(stream::StreamScheme::named("stream_1").expect("builtin config")),
+        Box::new(full::FullScheme::default()),
+        Box::new(tailored::TailoredScheme),
+    ]
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use tepic_isa::Program;
+
+    /// A mid-sized program exercising every format: loops, calls,
+    /// floats, byte/word memory, recursion, string scanning, sorting and
+    /// hashing. Large enough (hundreds of ops) that the compression
+    /// shapes of the paper's figures emerge.
+    pub fn sample_program() -> Program {
+        let src = r#"
+            global acc[64];
+            global heap[128];
+            global hist[64];
+            bglobal text[64] = "the quick brown fox jumps over the lazy dog again";
+            fglobal coefs[8] = { 0.5, 0.25, 1.5, -2.0, 3.25, -0.75, 0.125, 9.5 };
+            fn main() {
+                var i; var s = 0;
+                for (i = 0; i < 64; i = i + 1) { acc[i] = i * i - 3; }
+                for (i = 0; i < 50; i = i + 1) { s = s + text[i]; }
+                print(s);
+                print(fib(10));
+                fvar x = 0.0;
+                for (i = 0; i < 8; i = i + 1) { x = x + coefs[i]; }
+                print(int(x * 100.0));
+                fill(37);
+                sort(40);
+                print(heap[0]); print(heap[39]);
+                print(hashtext(50));
+                print(gcd(462, 1071));
+                classify(25);
+                print(hist[1] + hist[2] * 10);
+            }
+            fn fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+            fn fill(seed) {
+                var i; var v = seed;
+                for (i = 0; i < 40; i = i + 1) {
+                    v = (v * 1103 + 12345) % 2048;
+                    heap[i] = v;
+                }
+                return 0;
+            }
+            fn sort(n) {
+                var i; var j; var t;
+                for (i = 0; i < n; i = i + 1) {
+                    for (j = 0; j < n - 1 - i; j = j + 1) {
+                        if (heap[j] > heap[j + 1]) {
+                            t = heap[j]; heap[j] = heap[j + 1]; heap[j + 1] = t;
+                        }
+                    }
+                }
+                return 0;
+            }
+            fn hashtext(n) {
+                var i; var h = 5381;
+                for (i = 0; i < n; i = i + 1) {
+                    h = ((h << 5) + h) ^ text[i];
+                    h = h & 0xFFFFFF;
+                }
+                return h;
+            }
+            fn gcd(a, b) {
+                while (b != 0) { var t = b; b = a % b; a = t; }
+                return a;
+            }
+            fn classify(n) {
+                var i;
+                for (i = 0; i < n; i = i + 1) {
+                    var v = heap[i];
+                    if (v < 100) { hist[0] = hist[0] + 1; }
+                    else if (v < 500) { hist[1] = hist[1] + 1; }
+                    else if (v < 1000) { hist[2] = hist[2] + 1; }
+                    else { hist[3] = hist[3] + 1; }
+                }
+                return 0;
+            }
+        "#;
+        lego::compile(src, &lego::Options::default()).expect("sample compiles")
+    }
+
+    /// A tiny program (edge case: few distinct symbols).
+    pub fn tiny_program() -> Program {
+        lego::compile("fn main() { print(1); }", &lego::Options::default()).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_lineup_matches_figure5() {
+        let names: Vec<String> = standard_schemes().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec!["byte", "stream", "stream_1", "full", "tailored"]
+        );
+    }
+
+    #[test]
+    fn every_standard_scheme_round_trips_the_sample() {
+        let p = testutil::sample_program();
+        for scheme in standard_schemes() {
+            let out = scheme
+                .compress(&p)
+                .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
+            assert!(out.image.check_layout(), "{} layout broken", scheme.name());
+            assert!(
+                out.verify_roundtrip(&p),
+                "{} round trip failed",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_standard_scheme_handles_tiny_programs() {
+        let p = testutil::tiny_program();
+        for scheme in standard_schemes() {
+            let out = scheme
+                .compress(&p)
+                .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
+            assert!(
+                out.verify_roundtrip(&p),
+                "{} tiny round trip failed",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn compression_ordering_matches_paper_shape() {
+        // Figure 5: full < tailored < byte ≲ stream (as fractions of the
+        // original size). Exact numbers depend on the workload; the
+        // ordering full < tailored and full < byte must hold.
+        let p = testutil::sample_program();
+        let orig = p.code_size();
+        let get = |name: &str| -> f64 {
+            standard_schemes()
+                .into_iter()
+                .find(|s| s.name() == name)
+                .unwrap()
+                .compress(&p)
+                .unwrap()
+                .image
+                .ratio(orig)
+        };
+        let full = get("full");
+        let tailored = get("tailored");
+        let byte = get("byte");
+        assert!(
+            full < tailored,
+            "full {full} should beat tailored {tailored}"
+        );
+        assert!(full < byte, "full {full} should beat byte {byte}");
+        assert!(tailored < 1.0 && byte < 1.0);
+    }
+}

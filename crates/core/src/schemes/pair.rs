@@ -1,0 +1,200 @@
+//! Op-pair ("digram") Huffman — an extension probing the paper's §2.2
+//! observation that "combining two or more compression strategies does
+//! not yield better compression, since we are approaching the entropy
+//! limit of the program".
+//!
+//! Symbols are *pairs* of consecutive operations within a block (a
+//! trailing unpaired op uses a separate singles table). Joint coding can
+//! only improve on per-op entropy by whatever sequential correlation
+//! exists — and it pays with a dictionary whose size (and decoder)
+//! roughly squares. The `ext_entropy_limit` experiment quantifies both
+//! sides.
+
+use super::{BlockCodec, CompressError, Scheme, SchemeOutput};
+use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
+use tepic_isa::{Program, OP_BITS};
+use tinker_huffman::{
+    BitReader, BitWriter, CanonicalDecoder, CodeBook, DecoderComplexity, Dictionary,
+};
+
+/// Whole-op-pair Huffman scheme.
+#[derive(Debug, Clone, Copy)]
+pub struct PairScheme {
+    /// Maximum Huffman code length for both tables.
+    pub max_code_len: u8,
+}
+
+impl Default for PairScheme {
+    fn default() -> PairScheme {
+        PairScheme { max_code_len: 28 }
+    }
+}
+
+struct PairCodec {
+    pair_decoder: CanonicalDecoder,
+    pair_values: Vec<(u64, u64)>,
+    single_decoder: Option<CanonicalDecoder>,
+    single_values: Vec<u64>,
+}
+
+impl BlockCodec for PairCodec {
+    fn decode_block(&self, image: &EncodedProgram, b: usize, num_ops: usize) -> Option<Vec<u64>> {
+        let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
+        let mut out = Vec::with_capacity(num_ops);
+        while out.len() + 1 < num_ops {
+            let sym = self.pair_decoder.decode(&mut r)?;
+            let (a, c) = self.pair_values[sym as usize];
+            out.push(a);
+            out.push(c);
+        }
+        if out.len() < num_ops {
+            let dec = self.single_decoder.as_ref()?;
+            let sym = dec.decode(&mut r)?;
+            out.push(self.single_values[sym as usize]);
+        }
+        Some(out)
+    }
+}
+
+impl Scheme for PairScheme {
+    fn name(&self) -> String {
+        "pair".to_string()
+    }
+
+    fn compress(&self, program: &Program) -> Result<SchemeOutput, CompressError> {
+        if program.num_ops() == 0 {
+            return Err(CompressError::EmptyProgram);
+        }
+        // Histograms: pairs per block (non-overlapping), plus a singles
+        // table for odd trailing ops.
+        let mut pairs: Dictionary<(u64, u64)> = Dictionary::new();
+        let mut singles: Dictionary<u64> = Dictionary::new();
+        for b in 0..program.num_blocks() {
+            let words: Vec<u64> = program.block_ops(b).iter().map(|o| o.encode()).collect();
+            let mut i = 0;
+            while i + 1 < words.len() {
+                pairs.record((words[i], words[i + 1]));
+                i += 2;
+            }
+            if i < words.len() {
+                singles.record(words[i]);
+            }
+        }
+        let pair_book = CodeBook::bounded_from_freqs(pairs.freqs(), self.max_code_len)?;
+        let single_book = if singles.is_empty() {
+            None
+        } else {
+            Some(CodeBook::bounded_from_freqs(
+                singles.freqs(),
+                self.max_code_len,
+            )?)
+        };
+
+        let mut w = BitWriter::new();
+        let mut block_start = Vec::with_capacity(program.num_blocks());
+        let mut block_bytes = Vec::with_capacity(program.num_blocks());
+        for b in 0..program.num_blocks() {
+            w.align_byte();
+            let start = w.bit_len() / 8;
+            block_start.push(start);
+            let words: Vec<u64> = program.block_ops(b).iter().map(|o| o.encode()).collect();
+            let mut i = 0;
+            while i + 1 < words.len() {
+                let sym = pairs.id_of(&(words[i], words[i + 1])).expect("recorded");
+                pair_book.encode_into(sym, &mut w);
+                i += 2;
+            }
+            if i < words.len() {
+                let book = single_book.as_ref().expect("odd block implies singles");
+                book.encode_into(singles.id_of(&words[i]).expect("recorded"), &mut w);
+            }
+            let end = w.bit_len().div_ceil(8);
+            block_bytes.push((end - start) as u32);
+        }
+
+        let mut decoders = vec![DecoderComplexity {
+            n: pair_book.max_len() as u32,
+            k: pair_book.num_coded(),
+            m: 2 * OP_BITS,
+        }];
+        if let Some(sb) = &single_book {
+            decoders.push(DecoderComplexity {
+                n: sb.max_len() as u32,
+                k: sb.num_coded(),
+                m: OP_BITS,
+            });
+        }
+        let image = EncodedProgram {
+            kind: SchemeKind::Stream("pair".to_string()),
+            bytes: w.into_bytes(),
+            block_start,
+            block_bytes,
+            decoder: DecoderCost::Huffman(decoders),
+        };
+        let codec = PairCodec {
+            pair_decoder: pair_book.decoder(),
+            pair_values: (0..pairs.len() as u32)
+                .map(|i| *pairs.value_of(i))
+                .collect(),
+            single_decoder: single_book.as_ref().map(CodeBook::decoder),
+            single_values: (0..singles.len() as u32)
+                .map(|i| *singles.value_of(i))
+                .collect(),
+        };
+        Ok(SchemeOutput {
+            image,
+            codec: Box::new(codec),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::full::FullScheme;
+    use crate::schemes::testutil::{sample_program, tiny_program};
+
+    #[test]
+    fn round_trips() {
+        for p in [sample_program(), tiny_program()] {
+            let out = PairScheme::default().compress(&p).unwrap();
+            assert!(out.image.check_layout());
+            assert!(out.verify_roundtrip(&p));
+        }
+    }
+
+    /// Bytes of dictionary storage a Huffman decoder must hold.
+    fn dict_bytes(out: &SchemeOutput) -> usize {
+        match &out.image.decoder {
+            DecoderCost::Huffman(parts) => {
+                parts.iter().map(|p| p.k * (p.m as usize).div_ceil(8)).sum()
+            }
+            _ => 0,
+        }
+    }
+
+    #[test]
+    fn entropy_limit_shape() {
+        // The §2.2 claim, stated honestly: pairing shrinks the *image*
+        // by memorizing op sequences, but the dictionary grows faster
+        // than the image shrinks — the total (image + decoder
+        // dictionary) gets worse, because per-op coding already sits
+        // near the program's entropy.
+
+        let p = sample_program();
+        let full = FullScheme::default().compress(&p).unwrap();
+        let pair = PairScheme::default().compress(&p).unwrap();
+        let full_total = full.image.total_bytes() + dict_bytes(&full);
+        let pair_total = pair.image.total_bytes() + dict_bytes(&pair);
+        assert!(
+            pair_total > full_total,
+            "pair total {pair_total} must exceed full total {full_total}"
+        );
+        assert!(
+            dict_bytes(&pair) > dict_bytes(&full),
+            "pair dictionary storage ({} B) must exceed full's ({} B)",
+            dict_bytes(&pair),
+            dict_bytes(&full)
+        );
+    }
+}

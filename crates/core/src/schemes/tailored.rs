@@ -1,0 +1,687 @@
+//! Tailored encoding (paper §2.3): an *uncompressed but compact*
+//! program-specific ISA.
+//!
+//! Every field is shrunk to the minimum width the program actually
+//! needs: opcodes and registers are densely renumbered ("if the program
+//! uses less than eight floating-point operations, the FP OpCode field
+//! only needs three bits; … if no more than four registers … it needs
+//! only two bits"), reserved fields disappear, the speculative bit is
+//! dropped when unused, and immediates/branch targets take exactly the
+//! bits their largest value requires. The tail bit, OPT and OPCODE stay
+//! at fixed head positions so the decoder needs no search — exactly the
+//! decode-friendly regularity the paper's compiler looks for.
+//!
+//! Decoding a tailored op yields the processor's internal signals
+//! directly; no Huffman stage exists. The decoder is a compiler-emitted
+//! PLA (see [`crate::pla`] for the cost model and Verilog generator).
+
+use super::{BlockCodec, CompressError, Scheme, SchemeOutput};
+use crate::encoded::{EncodedProgram, SchemeKind};
+use std::collections::HashMap;
+use tepic_isa::op::{Cond, FloatOpcode, IntOpcode, MemWidth, OpKind, Operation, SysCode};
+use tepic_isa::regs::{Fpr, Gpr, Pr};
+use tepic_isa::Program;
+use tinker_huffman::{BitReader, BitWriter};
+
+/// Dense renumbering of a field's used values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Remap {
+    to_dense: HashMap<u32, u32>,
+    from_dense: Vec<u32>,
+}
+
+impl Remap {
+    fn build(mut used: Vec<u32>) -> Remap {
+        used.sort_unstable();
+        used.dedup();
+        let to_dense = used
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        Remap {
+            to_dense,
+            from_dense: used,
+        }
+    }
+
+    /// Bits needed to address every used value (0 when ≤1 value).
+    pub fn width(&self) -> u32 {
+        ceil_log2(self.from_dense.len())
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.from_dense.len()
+    }
+
+    /// True when no values were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.from_dense.is_empty()
+    }
+
+    /// Dense code of an original value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not in the program (spec mismatch).
+    pub fn enc(&self, v: u32) -> u32 {
+        self.to_dense[&v]
+    }
+
+    /// Original value of a dense code.
+    pub fn dec(&self, d: u32) -> Option<u32> {
+        self.from_dense.get(d as usize).copied()
+    }
+
+    /// The used original values in dense order.
+    pub fn values(&self) -> &[u32] {
+        &self.from_dense
+    }
+}
+
+fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// Minimal signed width for an immediate.
+fn signed_width(v: i32) -> u32 {
+    if v == 0 {
+        1
+    } else {
+        33 - (if v < 0 { !v } else { v }).leading_zeros()
+    }
+}
+
+/// The complete tailored ISA specification for one program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailoredSpec {
+    /// Whether any op sets the speculative bit (else the field is
+    /// dropped).
+    pub spec_used: bool,
+    /// Dense numbering of `(opt, opcode)` pairs, keyed as
+    /// `opt * 32 + opcode`.
+    pub opsel: Remap,
+    /// GPR renumbering.
+    pub gpr: Remap,
+    /// FPR renumbering.
+    pub fpr: Remap,
+    /// Predicate renumbering (guards and compare destinations).
+    pub pr: Remap,
+    /// Condition codes used.
+    pub cond: Remap,
+    /// Memory widths used.
+    pub mw: Remap,
+    /// Load latencies used.
+    pub lat: Remap,
+    /// System-call codes used.
+    pub sys: Remap,
+    /// Immediate field width (max over all `ldi`/`ldih`).
+    pub imm_width: u32,
+    /// Branch target field width (⌈log₂ #blocks⌉).
+    pub target_width: u32,
+}
+
+impl TailoredSpec {
+    /// Scans a program and computes all field widths and renumberings.
+    pub fn compute(program: &Program) -> TailoredSpec {
+        let mut spec_used = false;
+        let mut opsel = Vec::new();
+        let mut gpr = Vec::new();
+        let mut fpr = Vec::new();
+        let mut pr = Vec::new();
+        let mut cond = Vec::new();
+        let mut mw = Vec::new();
+        let mut lat = Vec::new();
+        let mut sys = Vec::new();
+        let mut imm_width = 1u32;
+        for op in program.ops() {
+            spec_used |= op.spec;
+            let (opt, opc) = op.opt_opcode();
+            opsel.push(opt as u32 * 32 + opc as u32);
+            pr.push(op.pred.index() as u32);
+            let mut g = |r: Gpr| gpr.push(r.index() as u32);
+            let mut f = |r: Fpr| fpr.push(r.index() as u32);
+            match op.kind {
+                OpKind::IntAlu {
+                    src1, src2, dest, ..
+                } => {
+                    g(src1);
+                    g(src2);
+                    g(dest);
+                }
+                OpKind::IntCmp {
+                    cond: c,
+                    src1,
+                    src2,
+                    dest,
+                } => {
+                    g(src1);
+                    g(src2);
+                    pr.push(dest.index() as u32);
+                    cond.push(c as u32);
+                }
+                OpKind::FloatCmp {
+                    cond: c,
+                    src1,
+                    src2,
+                    dest,
+                } => {
+                    f(src1);
+                    f(src2);
+                    pr.push(dest.index() as u32);
+                    cond.push(c as u32);
+                }
+                OpKind::LoadImm { imm, dest, .. } => {
+                    g(dest);
+                    imm_width = imm_width.max(signed_width(imm));
+                }
+                OpKind::Float {
+                    src1, src2, dest, ..
+                } => {
+                    f(src1);
+                    f(src2);
+                    f(dest);
+                }
+                OpKind::CvtIf { src, dest } => {
+                    g(src);
+                    f(dest);
+                }
+                OpKind::CvtFi { src, dest } => {
+                    f(src);
+                    g(dest);
+                }
+                OpKind::Load {
+                    width,
+                    base,
+                    lat: l,
+                    dest,
+                } => {
+                    g(base);
+                    g(dest);
+                    mw.push(width as u32);
+                    lat.push(l as u32);
+                }
+                OpKind::Store { width, base, value } => {
+                    g(base);
+                    g(value);
+                    mw.push(width as u32);
+                }
+                OpKind::FLoad { base, lat: l, dest } => {
+                    g(base);
+                    f(dest);
+                    lat.push(l as u32);
+                }
+                OpKind::FStore { base, value } => {
+                    g(base);
+                    f(value);
+                }
+                OpKind::Branch { .. } | OpKind::Halt => {}
+                OpKind::Call { link, .. } => g(link),
+                OpKind::Ret { src } => g(src),
+                OpKind::Sys { code, arg } => {
+                    g(arg);
+                    sys.push(code as u32);
+                }
+            }
+        }
+        TailoredSpec {
+            spec_used,
+            opsel: Remap::build(opsel),
+            gpr: Remap::build(gpr),
+            fpr: Remap::build(fpr),
+            pr: Remap::build(pr),
+            cond: Remap::build(cond),
+            mw: Remap::build(mw),
+            lat: Remap::build(lat),
+            sys: Remap::build(sys),
+            imm_width,
+            target_width: ceil_log2(program.num_blocks()).max(1),
+        }
+    }
+
+    /// Bits of the fixed header: tail + (spec) + opsel.
+    pub fn header_width(&self) -> u32 {
+        1 + self.spec_used as u32 + self.opsel.width()
+    }
+
+    /// Encoded size in bits of one operation under this spec.
+    pub fn op_bits(&self, op: &Operation) -> u32 {
+        self.header_width() + self.pr.width() + self.payload_bits(&op.kind)
+    }
+
+    fn payload_bits(&self, kind: &OpKind) -> u32 {
+        let g = self.gpr.width();
+        let f = self.fpr.width();
+        match kind {
+            OpKind::IntAlu { .. } => 3 * g,
+            OpKind::IntCmp { .. } => 2 * g + self.cond.width() + self.pr.width(),
+            OpKind::FloatCmp { .. } => 2 * f + self.cond.width() + self.pr.width(),
+            OpKind::LoadImm { .. } => self.imm_width + g,
+            OpKind::Float { .. } => 3 * f,
+            OpKind::CvtIf { .. } | OpKind::CvtFi { .. } => g + f,
+            OpKind::Load { .. } => 2 * g + self.mw.width() + self.lat.width(),
+            OpKind::Store { .. } => 2 * g + self.mw.width(),
+            OpKind::FLoad { .. } => g + f + self.lat.width(),
+            OpKind::FStore { .. } => g + f,
+            OpKind::Branch { .. } => self.target_width,
+            OpKind::Call { .. } => self.target_width + g,
+            OpKind::Ret { .. } => g,
+            OpKind::Halt => 0,
+            OpKind::Sys { .. } => self.sys.width() + g,
+        }
+    }
+
+    fn encode_op(&self, op: &Operation, w: &mut BitWriter) {
+        w.write_bit(op.tail);
+        if self.spec_used {
+            w.write_bit(op.spec);
+        }
+        let (opt, opc) = op.opt_opcode();
+        w.write_bits(
+            self.opsel.enc(opt as u32 * 32 + opc as u32) as u64,
+            self.opsel.width(),
+        );
+        w.write_bits(self.pr.enc(op.pred.index() as u32) as u64, self.pr.width());
+        let gw = self.gpr.width();
+        let fw = self.fpr.width();
+        let wg =
+            |w: &mut BitWriter, r: Gpr| w.write_bits(self.gpr.enc(r.index() as u32) as u64, gw);
+        let wf =
+            |w: &mut BitWriter, r: Fpr| w.write_bits(self.fpr.enc(r.index() as u32) as u64, fw);
+        match op.kind {
+            OpKind::IntAlu {
+                src1, src2, dest, ..
+            } => {
+                wg(w, src1);
+                wg(w, src2);
+                wg(w, dest);
+            }
+            OpKind::IntCmp {
+                cond,
+                src1,
+                src2,
+                dest,
+            } => {
+                wg(w, src1);
+                wg(w, src2);
+                w.write_bits(self.cond.enc(cond as u32) as u64, self.cond.width());
+                w.write_bits(self.pr.enc(dest.index() as u32) as u64, self.pr.width());
+            }
+            OpKind::FloatCmp {
+                cond,
+                src1,
+                src2,
+                dest,
+            } => {
+                wf(w, src1);
+                wf(w, src2);
+                w.write_bits(self.cond.enc(cond as u32) as u64, self.cond.width());
+                w.write_bits(self.pr.enc(dest.index() as u32) as u64, self.pr.width());
+            }
+            OpKind::LoadImm { imm, dest, .. } => {
+                w.write_bits(
+                    (imm as u32 as u64) & ((1u64 << self.imm_width) - 1),
+                    self.imm_width,
+                );
+                wg(w, dest);
+            }
+            OpKind::Float {
+                src1, src2, dest, ..
+            } => {
+                wf(w, src1);
+                wf(w, src2);
+                wf(w, dest);
+            }
+            OpKind::CvtIf { src, dest } => {
+                wg(w, src);
+                wf(w, dest);
+            }
+            OpKind::CvtFi { src, dest } => {
+                wf(w, src);
+                wg(w, dest);
+            }
+            OpKind::Load {
+                width,
+                base,
+                lat,
+                dest,
+            } => {
+                wg(w, base);
+                w.write_bits(self.mw.enc(width as u32) as u64, self.mw.width());
+                w.write_bits(self.lat.enc(lat as u32) as u64, self.lat.width());
+                wg(w, dest);
+            }
+            OpKind::Store { width, base, value } => {
+                wg(w, base);
+                w.write_bits(self.mw.enc(width as u32) as u64, self.mw.width());
+                wg(w, value);
+            }
+            OpKind::FLoad { base, lat, dest } => {
+                wg(w, base);
+                w.write_bits(self.lat.enc(lat as u32) as u64, self.lat.width());
+                wf(w, dest);
+            }
+            OpKind::FStore { base, value } => {
+                wg(w, base);
+                wf(w, value);
+            }
+            OpKind::Branch { target } => {
+                w.write_bits(target as u64, self.target_width);
+            }
+            OpKind::Call { target, link } => {
+                w.write_bits(target as u64, self.target_width);
+                wg(w, link);
+            }
+            OpKind::Ret { src } => wg(w, src),
+            OpKind::Halt => {}
+            OpKind::Sys { code, arg } => {
+                w.write_bits(self.sys.enc(code as u32) as u64, self.sys.width());
+                wg(w, arg);
+            }
+        }
+    }
+
+    /// Decodes one tailored operation.
+    pub fn decode_op(&self, r: &mut BitReader<'_>) -> Option<Operation> {
+        let tail = r.read_bit()?;
+        let spec = if self.spec_used { r.read_bit()? } else { false };
+        let opsel = self.opsel.dec(r.read_bits(self.opsel.width())? as u32)?;
+        let pred = Pr::try_new(self.pr.dec(r.read_bits(self.pr.width())? as u32)? as u8)?;
+        let gw = self.gpr.width();
+        let fw = self.fpr.width();
+        let (opt, opc) = (opsel / 32, opsel % 32);
+        // Reconstruct via the original 40-bit pathway so opcode decoding
+        // stays in one place: build the word header + fields.
+        let rg = |r: &mut BitReader<'_>| -> Option<Gpr> {
+            Gpr::try_new(self.gpr.dec(r.read_bits(gw)? as u32)? as u8)
+        };
+        let rf = |r: &mut BitReader<'_>| -> Option<Fpr> {
+            Fpr::try_new(self.fpr.dec(r.read_bits(fw)? as u32)? as u8)
+        };
+        use tepic_isa::op::OpType;
+        let optype = OpType::from_bits(opt as u64);
+        let kind = match (optype, opc) {
+            (OpType::Int, 16) => {
+                let src1 = rg(r)?;
+                let src2 = rg(r)?;
+                let cond =
+                    Cond::ALL[self.cond.dec(r.read_bits(self.cond.width())? as u32)? as usize];
+                let dest = Pr::try_new(self.pr.dec(r.read_bits(self.pr.width())? as u32)? as u8)?;
+                OpKind::IntCmp {
+                    cond,
+                    src1,
+                    src2,
+                    dest,
+                }
+            }
+            (OpType::Int, 17) | (OpType::Int, 18) => {
+                let raw = r.read_bits(self.imm_width)? as u32;
+                // Sign-extend from imm_width.
+                let shift = 32 - self.imm_width;
+                let imm = ((raw << shift) as i32) >> shift;
+                OpKind::LoadImm {
+                    high: opc == 18,
+                    imm,
+                    dest: rg(r)?,
+                }
+            }
+            (OpType::Int, c) => OpKind::IntAlu {
+                op: *IntOpcode::ALL.get(c as usize)?,
+                src1: rg(r)?,
+                src2: rg(r)?,
+                dest: rg(r)?,
+            },
+            (OpType::Float, 16) => {
+                let src1 = rf(r)?;
+                let src2 = rf(r)?;
+                let cond =
+                    Cond::ALL[self.cond.dec(r.read_bits(self.cond.width())? as u32)? as usize];
+                let dest = Pr::try_new(self.pr.dec(r.read_bits(self.pr.width())? as u32)? as u8)?;
+                OpKind::FloatCmp {
+                    cond,
+                    src1,
+                    src2,
+                    dest,
+                }
+            }
+            (OpType::Float, 17) => OpKind::CvtIf {
+                src: rg(r)?,
+                dest: rf(r)?,
+            },
+            (OpType::Float, 18) => OpKind::CvtFi {
+                src: rf(r)?,
+                dest: rg(r)?,
+            },
+            (OpType::Float, c) => OpKind::Float {
+                op: *FloatOpcode::ALL.get(c as usize)?,
+                src1: rf(r)?,
+                src2: rf(r)?,
+                dest: rf(r)?,
+            },
+            (OpType::Mem, 0) => {
+                let base = rg(r)?;
+                let width = decode_mw(self.mw.dec(r.read_bits(self.mw.width())? as u32)?);
+                let lat = self.lat.dec(r.read_bits(self.lat.width())? as u32)? as u8;
+                OpKind::Load {
+                    width,
+                    base,
+                    lat,
+                    dest: rg(r)?,
+                }
+            }
+            (OpType::Mem, 1) => {
+                let base = rg(r)?;
+                let width = decode_mw(self.mw.dec(r.read_bits(self.mw.width())? as u32)?);
+                OpKind::Store {
+                    width,
+                    base,
+                    value: rg(r)?,
+                }
+            }
+            (OpType::Mem, 2) => {
+                let base = rg(r)?;
+                let lat = self.lat.dec(r.read_bits(self.lat.width())? as u32)? as u8;
+                OpKind::FLoad {
+                    base,
+                    lat,
+                    dest: rf(r)?,
+                }
+            }
+            (OpType::Mem, 3) => OpKind::FStore {
+                base: rg(r)?,
+                value: rf(r)?,
+            },
+            (OpType::Ctrl, 0) => OpKind::Branch {
+                target: r.read_bits(self.target_width)? as u16,
+            },
+            (OpType::Ctrl, 1) => OpKind::Call {
+                target: r.read_bits(self.target_width)? as u16,
+                link: rg(r)?,
+            },
+            (OpType::Ctrl, 2) => OpKind::Ret { src: rg(r)? },
+            (OpType::Ctrl, 3) => OpKind::Halt,
+            (OpType::Ctrl, 4) => {
+                let code = match self.sys.dec(r.read_bits(self.sys.width())? as u32)? {
+                    1 => SysCode::PrintInt,
+                    2 => SysCode::PrintChar,
+                    _ => return None,
+                };
+                OpKind::Sys { code, arg: rg(r)? }
+            }
+            _ => return None,
+        };
+        Some(Operation {
+            tail,
+            spec,
+            pred,
+            kind,
+        })
+    }
+}
+
+fn decode_mw(v: u32) -> MemWidth {
+    match v {
+        0 => MemWidth::Byte,
+        1 => MemWidth::Half,
+        2 => MemWidth::Word,
+        _ => MemWidth::Double,
+    }
+}
+
+/// The tailored encoding scheme.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TailoredScheme;
+
+struct TailoredCodec {
+    spec: TailoredSpec,
+}
+
+impl BlockCodec for TailoredCodec {
+    fn decode_block(&self, image: &EncodedProgram, b: usize, num_ops: usize) -> Option<Vec<u64>> {
+        let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
+        let mut out = Vec::with_capacity(num_ops);
+        for _ in 0..num_ops {
+            out.push(self.spec.decode_op(&mut r)?.encode());
+        }
+        Some(out)
+    }
+}
+
+impl Scheme for TailoredScheme {
+    fn name(&self) -> String {
+        "tailored".to_string()
+    }
+
+    fn compress(&self, program: &Program) -> Result<SchemeOutput, CompressError> {
+        if program.num_ops() == 0 {
+            return Err(CompressError::EmptyProgram);
+        }
+        let spec = TailoredSpec::compute(program);
+        let mut w = BitWriter::new();
+        let mut block_start = Vec::with_capacity(program.num_blocks());
+        let mut block_bytes = Vec::with_capacity(program.num_blocks());
+        for b in 0..program.num_blocks() {
+            w.align_byte();
+            let start = w.bit_len() / 8;
+            block_start.push(start);
+            for op in program.block_ops(b) {
+                spec.encode_op(op, &mut w);
+            }
+            let end = w.bit_len().div_ceil(8);
+            block_bytes.push((end - start) as u32);
+        }
+        let decoder = crate::pla::tailored_decoder_cost(&spec);
+        let image = EncodedProgram {
+            kind: SchemeKind::Tailored,
+            bytes: w.into_bytes(),
+            block_start,
+            block_bytes,
+            decoder,
+        };
+        Ok(SchemeOutput {
+            image,
+            codec: Box::new(TailoredCodec { spec }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoded::DecoderCost;
+    use crate::schemes::testutil::{sample_program, tiny_program};
+
+    #[test]
+    fn spec_widths_shrink() {
+        let p = sample_program();
+        let spec = TailoredSpec::compute(&p);
+        assert!(
+            spec.opsel.width() <= 7,
+            "opsel width {}",
+            spec.opsel.width()
+        );
+        assert!(spec.gpr.width() <= 5);
+        assert!(spec.pr.width() <= 5);
+        assert!(!spec.spec_used, "compiler never speculates yet");
+        // The whole point: average op must be well under 40 bits.
+        let total_bits: u64 = p.ops().iter().map(|o| spec.op_bits(o) as u64).sum();
+        let avg = total_bits as f64 / p.num_ops() as f64;
+        assert!(avg < 33.0, "average tailored op {avg} bits is not compact");
+    }
+
+    #[test]
+    fn round_trips() {
+        let p = sample_program();
+        let out = TailoredScheme.compress(&p).unwrap();
+        assert!(out.verify_roundtrip(&p));
+        assert!(out.image.check_layout());
+    }
+
+    #[test]
+    fn ratio_in_paper_ballpark() {
+        // Paper: tailored ≈ 64% of original. Allow a generous band.
+        let p = sample_program();
+        let out = TailoredScheme.compress(&p).unwrap();
+        let r = out.image.ratio(p.code_size());
+        assert!(r > 0.3 && r < 0.9, "tailored ratio {r} out of band");
+    }
+
+    #[test]
+    fn tiny_program_round_trips() {
+        let p = tiny_program();
+        let out = TailoredScheme.compress(&p).unwrap();
+        assert!(out.verify_roundtrip(&p));
+    }
+
+    #[test]
+    fn signed_width_is_minimal() {
+        assert_eq!(signed_width(0), 1);
+        assert_eq!(signed_width(1), 2);
+        assert_eq!(signed_width(-1), 1);
+        assert_eq!(signed_width(-2), 2);
+        assert_eq!(signed_width(7), 4);
+        assert_eq!(signed_width(-8), 4);
+        assert_eq!(signed_width(i32::MAX), 32);
+        assert_eq!(signed_width(i32::MIN), 32);
+    }
+
+    #[test]
+    fn ceil_log2_edges() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(32), 5);
+        assert_eq!(ceil_log2(33), 6);
+    }
+
+    #[test]
+    fn remap_is_dense_and_ordered() {
+        let r = Remap::build(vec![7, 3, 3, 31, 0]);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.values(), &[0, 3, 7, 31]);
+        assert_eq!(r.enc(3), 1);
+        assert_eq!(r.dec(2), Some(7));
+        assert_eq!(r.dec(9), None);
+        assert_eq!(r.width(), 2);
+    }
+
+    #[test]
+    fn decoder_cost_is_pla_and_small_vs_full() {
+        let p = sample_program();
+        let tailored = TailoredScheme.compress(&p).unwrap();
+        assert!(matches!(tailored.image.decoder, DecoderCost::Pla { .. }));
+        let full = crate::schemes::full::FullScheme::default()
+            .compress(&p)
+            .unwrap();
+        assert!(
+            tailored.image.decoder.transistors() < full.image.decoder.transistors(),
+            "tailored PLA should be far smaller than the Full Huffman tree"
+        );
+    }
+}

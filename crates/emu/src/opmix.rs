@@ -1,0 +1,184 @@
+//! Static and dynamic operation-mix statistics.
+//!
+//! The compression results all flow from the op distribution (the paper's
+//! §2.2 discusses the skew — "the OpType/OpCode fields … are set to
+//! INT_OpType and ADD OpCode very often"); this module measures it, both
+//! statically over the image and dynamically weighted by the block trace.
+
+use crate::trace::BlockTrace;
+use tepic_isa::op::{OpKind, Operation};
+use tepic_isa::Program;
+
+/// Operation categories for mix reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpCategory {
+    /// Integer ALU (including moves and immediates).
+    IntAlu,
+    /// Integer/float compares.
+    Compare,
+    /// Floating-point arithmetic and conversions.
+    Float,
+    /// Loads.
+    Load,
+    /// Stores.
+    Store,
+    /// Branches, calls, returns, halts.
+    Control,
+    /// Environment calls.
+    Sys,
+}
+
+impl OpCategory {
+    /// All categories, in report order.
+    pub const ALL: [OpCategory; 7] = [
+        OpCategory::IntAlu,
+        OpCategory::Compare,
+        OpCategory::Float,
+        OpCategory::Load,
+        OpCategory::Store,
+        OpCategory::Control,
+        OpCategory::Sys,
+    ];
+
+    /// Category of an operation.
+    pub fn of(op: &Operation) -> OpCategory {
+        match op.kind {
+            OpKind::IntAlu { .. } | OpKind::LoadImm { .. } => OpCategory::IntAlu,
+            OpKind::IntCmp { .. } | OpKind::FloatCmp { .. } => OpCategory::Compare,
+            OpKind::Float { .. } | OpKind::CvtIf { .. } | OpKind::CvtFi { .. } => OpCategory::Float,
+            OpKind::Load { .. } | OpKind::FLoad { .. } => OpCategory::Load,
+            OpKind::Store { .. } | OpKind::FStore { .. } => OpCategory::Store,
+            OpKind::Branch { .. } | OpKind::Call { .. } | OpKind::Ret { .. } | OpKind::Halt => {
+                OpCategory::Control
+            }
+            OpKind::Sys { .. } => OpCategory::Sys,
+        }
+    }
+
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpCategory::IntAlu => "ialu",
+            OpCategory::Compare => "cmp",
+            OpCategory::Float => "float",
+            OpCategory::Load => "load",
+            OpCategory::Store => "store",
+            OpCategory::Control => "ctrl",
+            OpCategory::Sys => "sys",
+        }
+    }
+}
+
+/// Mix over the seven categories (counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpMix {
+    counts: [u64; 7],
+    total: u64,
+}
+
+impl OpMix {
+    /// Static mix over a program image.
+    pub fn static_mix(program: &Program) -> OpMix {
+        let mut mix = OpMix::default();
+        for op in program.ops() {
+            mix.add(OpCategory::of(op), 1);
+        }
+        mix
+    }
+
+    /// Dynamic mix: static per-block mixes weighted by execution counts.
+    pub fn dynamic_mix(program: &Program, trace: &BlockTrace) -> OpMix {
+        let counts = trace.block_counts(program.num_blocks());
+        let mut mix = OpMix::default();
+        for (b, &n) in counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            for op in program.block_ops(b) {
+                mix.add(OpCategory::of(op), n);
+            }
+        }
+        mix
+    }
+
+    fn add(&mut self, cat: OpCategory, n: u64) {
+        let i = OpCategory::ALL
+            .iter()
+            .position(|&c| c == cat)
+            .expect("category");
+        self.counts[i] += n;
+        self.total += n;
+    }
+
+    /// Count for a category.
+    pub fn count(&self, cat: OpCategory) -> u64 {
+        self.counts[OpCategory::ALL
+            .iter()
+            .position(|&c| c == cat)
+            .expect("category")]
+    }
+
+    /// Fraction for a category (0 when empty).
+    pub fn fraction(&self, cat: OpCategory) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(cat) as f64 / self.total as f64
+        }
+    }
+
+    /// Total operations counted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Emulator, Limits};
+
+    fn compile(src: &str) -> Program {
+        lego::compile(src, &lego::Options::default()).unwrap()
+    }
+
+    #[test]
+    fn static_mix_counts_everything() {
+        let p = compile("global a[4]; fn main() { a[0] = 1; print(a[0]); }");
+        let mix = OpMix::static_mix(&p);
+        assert_eq!(mix.total(), p.num_ops() as u64);
+        assert!(mix.count(OpCategory::Store) >= 1);
+        assert!(mix.count(OpCategory::Load) >= 1);
+        assert!(mix.count(OpCategory::Sys) >= 1);
+        assert!(mix.count(OpCategory::Control) >= 1, "main returns");
+        let fsum: f64 = OpCategory::ALL.iter().map(|&c| mix.fraction(c)).sum();
+        assert!((fsum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_mix_weights_hot_blocks() {
+        let p = compile(
+            "global a[64]; fn main() { var i; for (i = 0; i < 64; i = i + 1) { a[i] = i; } }",
+        );
+        let run = Emulator::new(&p).run(&Limits::default()).unwrap();
+        let stat = OpMix::static_mix(&p);
+        let dyn_ = OpMix::dynamic_mix(&p, &run.trace);
+        assert_eq!(dyn_.total(), run.stats.ops);
+        // The loop body stores every iteration: stores are hotter
+        // dynamically than statically.
+        assert!(dyn_.fraction(OpCategory::Store) > stat.fraction(OpCategory::Store) * 0.9);
+        // Control ops (the loop branch) dominate dynamically vs a
+        // straight-line reading.
+        assert!(dyn_.fraction(OpCategory::Control) > 0.05);
+    }
+
+    #[test]
+    fn float_workload_shows_float_ops() {
+        let p = compile(
+            "fn main() { fvar x = 1.0; var i; for (i = 0; i < 9; i = i + 1) { x = x * 1.5; } print(int(x)); }",
+        );
+        let run = Emulator::new(&p).run(&Limits::default()).unwrap();
+        let mix = OpMix::dynamic_mix(&p, &run.trace);
+        assert!(mix.fraction(OpCategory::Float) > 0.02);
+    }
+}

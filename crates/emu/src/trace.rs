@@ -1,0 +1,138 @@
+//! Dynamic block traces and derived statistics.
+
+/// The sequence of basic-block ids executed by a program run. This is the
+/// paper's "instruction address trace" at block granularity — exactly the
+/// information the ATB-driven fetch engine needs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockTrace {
+    blocks: Vec<u32>,
+}
+
+impl BlockTrace {
+    /// Creates an empty trace.
+    pub fn new() -> BlockTrace {
+        BlockTrace::default()
+    }
+
+    /// Appends an executed block.
+    pub fn push(&mut self, block: u32) {
+        self.blocks.push(block);
+    }
+
+    /// The executed block ids in order.
+    pub fn blocks(&self) -> &[u32] {
+        &self.blocks
+    }
+
+    /// Number of block executions.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when nothing was executed.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Iterates `(current, next)` pairs — the fetch engine's unit of work
+    /// (the next block is what the ATB's predictor is judged against).
+    pub fn transitions(&self) -> impl Iterator<Item = (u32, Option<u32>)> + '_ {
+        (0..self.blocks.len()).map(move |i| (self.blocks[i], self.blocks.get(i + 1).copied()))
+    }
+
+    /// Per-block execution counts, sized to `num_blocks`.
+    pub fn block_counts(&self, num_blocks: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; num_blocks];
+        for &b in &self.blocks {
+            counts[b as usize] += 1;
+        }
+        counts
+    }
+}
+
+impl FromIterator<u32> for BlockTrace {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> BlockTrace {
+        BlockTrace {
+            blocks: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Aggregate statistics computed from a trace against its program.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceStats {
+    /// Dynamic operations (all ops of every executed block).
+    pub ops: u64,
+    /// Dynamic MultiOps.
+    pub mops: u64,
+    /// Block executions.
+    pub blocks: u64,
+    /// Fraction of block transitions that were *not* simple fallthrough.
+    pub taken_fraction: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace` over `program`.
+    pub fn compute(program: &tepic_isa::Program, trace: &BlockTrace) -> TraceStats {
+        let mut ops = 0u64;
+        let mut mops = 0u64;
+        let mut taken = 0u64;
+        let mut transitions = 0u64;
+        for (cur, next) in trace.transitions() {
+            let info = &program.blocks()[cur as usize];
+            ops += info.num_ops as u64;
+            mops += info.num_mops as u64;
+            if let Some(n) = next {
+                transitions += 1;
+                if n != cur + 1 {
+                    taken += 1;
+                }
+            }
+        }
+        TraceStats {
+            ops,
+            mops,
+            blocks: trace.len() as u64,
+            taken_fraction: if transitions == 0 {
+                0.0
+            } else {
+                taken as f64 / transitions as f64
+            },
+        }
+    }
+
+    /// Average dynamic MultiOp density (operations per MOP) — bounded by
+    /// the 6-wide issue machine; the "Ideal" IPC of the cache study.
+    pub fn avg_mop_density(&self) -> f64 {
+        if self.mops == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.mops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_pair_blocks() {
+        let t: BlockTrace = [1u32, 2, 5].into_iter().collect();
+        let v: Vec<_> = t.transitions().collect();
+        assert_eq!(v, vec![(1, Some(2)), (2, Some(5)), (5, None)]);
+    }
+
+    #[test]
+    fn counts_per_block() {
+        let t: BlockTrace = [0u32, 1, 0, 0].into_iter().collect();
+        assert_eq!(t.block_counts(3), vec![3, 1, 0]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = BlockTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.transitions().count(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The Address Translation Buffer (paper §3.3) with its coupled branch
+//! predictor (§3.4).
+//!
+//! Fully associative, LRU, one entry per recently-fetched block. An entry
+//! holds the ATT metadata (compressed address, lines, MOPs) plus the
+//! block's next-block predictor: a 2-bit saturating taken counter (Smith, ISCA 1981)
+//! and a last-target slot; predicted-next is the last target when the
+//! counter says taken, the sequential block otherwise.
+
+use ccc_core::AttEntry;
+use std::collections::HashMap;
+
+/// 2-bit saturating counter, initialized weakly-taken (loops warm up
+/// fast, matching the paper's single-branch-per-block structure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoBit(u8);
+
+impl Default for TwoBit {
+    fn default() -> TwoBit {
+        TwoBit(2)
+    }
+}
+
+impl TwoBit {
+    /// Current prediction.
+    pub fn taken(&self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Trains on an actual outcome.
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// One cached translation + predictor entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtbEntry {
+    /// The static ATT payload.
+    pub att: AttEntry,
+    /// Taken/not-taken state for the block-ending branch.
+    pub counter: TwoBit,
+    /// Last observed non-sequential successor.
+    pub last_target: Option<u32>,
+}
+
+/// The buffer itself.
+#[derive(Debug, Clone)]
+pub struct Atb {
+    capacity: usize,
+    entries: HashMap<u32, (AtbEntry, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Atb {
+    /// Creates an empty ATB with room for `capacity` blocks.
+    pub fn new(capacity: usize) -> Atb {
+        Atb {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up block `b`, loading its ATT entry on a miss (the model's
+    /// stand-in for the ATT fetch from code memory). Returns whether it
+    /// hit.
+    pub fn access(&mut self, b: u32, att: &AttEntry) -> bool {
+        self.clock += 1;
+        if let Some((_, stamp)) = self.entries.get_mut(&b) {
+            *stamp = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.capacity {
+            // Evict LRU.
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, s))| *s) {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(
+            b,
+            (
+                AtbEntry {
+                    att: *att,
+                    counter: TwoBit::default(),
+                    last_target: None,
+                },
+                self.clock,
+            ),
+        );
+        false
+    }
+
+    /// Predicts the successor of block `b` (None = no entry → predict
+    /// sequential).
+    pub fn predict_next(&self, b: u32) -> u32 {
+        match self.entries.get(&b) {
+            Some((e, _)) if e.counter.taken() => e.last_target.unwrap_or(b + 1),
+            _ => b + 1,
+        }
+    }
+
+    /// The last observed non-sequential successor of `b`, if cached.
+    pub fn last_target(&self, b: u32) -> Option<u32> {
+        self.entries.get(&b).and_then(|(e, _)| e.last_target)
+    }
+
+    /// Trains block `b`'s predictor with the observed successor.
+    pub fn train(&mut self, b: u32, actual_next: u32) {
+        if let Some((e, _)) = self.entries.get_mut(&b) {
+            let taken = actual_next != b + 1;
+            e.counter.update(taken);
+            if taken {
+                e.last_target = Some(actual_next);
+            }
+        }
+    }
+
+    /// ATB hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// ATB miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate ("due to the normally high spatial locality, the ATB has
+    /// a very low level of contention").
+    pub fn hit_rate(&self) -> f64 {
+        let t = self.hits + self.misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.hits as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn att() -> AttEntry {
+        AttEntry {
+            compressed_addr: 0,
+            block_bytes: 10,
+            num_mops: 2,
+            num_ops: 4,
+        }
+    }
+
+    #[test]
+    fn two_bit_counter_saturates() {
+        let mut c = TwoBit::default();
+        assert!(c.taken());
+        c.update(false);
+        assert!(!c.taken()); // 1
+        c.update(false);
+        c.update(false);
+        assert!(!c.taken()); // stays 0
+        c.update(true);
+        assert!(!c.taken()); // 1: hysteresis
+        c.update(true);
+        assert!(c.taken()); // 2
+        c.update(true);
+        c.update(true);
+        assert!(c.taken()); // stays 3
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut atb = Atb::new(4);
+        assert!(!atb.access(7, &att()));
+        assert!(atb.access(7, &att()));
+        assert_eq!(atb.hits(), 1);
+        assert_eq!(atb.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut atb = Atb::new(2);
+        atb.access(1, &att());
+        atb.access(2, &att());
+        atb.access(1, &att()); // 2 becomes LRU
+        atb.access(3, &att()); // evicts 2
+        assert!(atb.access(1, &att()));
+        assert!(!atb.access(2, &att()), "2 was evicted");
+    }
+
+    #[test]
+    fn predictor_learns_taken_branch() {
+        let mut atb = Atb::new(4);
+        atb.access(5, &att());
+        // Cold: counter is weakly-taken but no target → sequential.
+        assert_eq!(atb.predict_next(5), 6);
+        atb.train(5, 9);
+        assert_eq!(atb.predict_next(5), 9, "learned last target");
+        // Hysteresis: one not-taken keeps the strong-taken prediction.
+        atb.train(5, 6);
+        assert_eq!(atb.predict_next(5), 9);
+        atb.train(5, 6);
+        assert_eq!(atb.predict_next(5), 6, "two not-takens flip the counter");
+    }
+
+    #[test]
+    fn unknown_block_predicts_sequential() {
+        let atb = Atb::new(4);
+        assert_eq!(atb.predict_next(42), 43);
+    }
+
+    #[test]
+    fn eviction_loses_training() {
+        let mut atb = Atb::new(1);
+        atb.access(1, &att());
+        atb.train(1, 10);
+        assert_eq!(atb.predict_next(1), 10);
+        atb.access(2, &att()); // evicts 1
+        assert_eq!(atb.predict_next(1), 2, "entry gone → sequential");
+    }
+}

@@ -1,0 +1,126 @@
+//! The L0 decompressed-block buffer (paper §4).
+//!
+//! "One block is decompressed at a time and is held in a buffer, which is
+//! accessed in parallel with (but has priority over) the main cache …
+//! organized as a small fully associative cache. The size of the L0
+//! buffer was set at 32 op entries (160 bytes)." Tight DSP-style loops
+//! fit entirely, which is also why the buffer doubles as a filter cache
+//! for power.
+
+use std::collections::VecDeque;
+
+/// Fully associative, FIFO-replaced buffer of decompressed blocks,
+/// bounded by total *operations* held.
+#[derive(Debug, Clone)]
+pub struct L0Buffer {
+    capacity_ops: u32,
+    /// Resident (block, ops) in FIFO order.
+    resident: VecDeque<(u32, u32)>,
+    used_ops: u32,
+    hits: u64,
+    misses: u64,
+}
+
+/// The paper's buffer size: 32 operations (160 bytes of 40-bit ops).
+pub const DEFAULT_L0_OPS: u32 = 32;
+
+impl L0Buffer {
+    /// Creates an empty buffer holding up to `capacity_ops` operations.
+    pub fn new(capacity_ops: u32) -> L0Buffer {
+        L0Buffer {
+            capacity_ops: capacity_ops.max(1),
+            resident: VecDeque::new(),
+            used_ops: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Probes for a block; on a miss, the freshly decompressed block is
+    /// installed (if it fits at all). Returns whether it hit.
+    pub fn access(&mut self, block: u32, block_ops: u32) -> bool {
+        if self.resident.iter().any(|&(b, _)| b == block) {
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if block_ops <= self.capacity_ops {
+            while self.used_ops + block_ops > self.capacity_ops {
+                let (_, ops) = self
+                    .resident
+                    .pop_front()
+                    .expect("used_ops > 0 implies resident");
+                self.used_ops -= ops;
+            }
+            self.resident.push_back((block, block_ops));
+            self.used_ops += block_ops;
+        }
+        false
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let t = self.hits + self.misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.hits as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_loop_fits_and_hits() {
+        let mut b = L0Buffer::new(32);
+        assert!(!b.access(1, 10));
+        assert!(!b.access(2, 10));
+        for _ in 0..10 {
+            assert!(b.access(1, 10));
+            assert!(b.access(2, 10));
+        }
+        assert_eq!(b.misses(), 2);
+        assert_eq!(b.hits(), 20);
+    }
+
+    #[test]
+    fn fifo_eviction_when_full() {
+        let mut b = L0Buffer::new(32);
+        b.access(1, 16);
+        b.access(2, 16); // full
+        b.access(3, 8); // evicts 1 (FIFO)
+        assert!(!b.access(1, 16), "1 was evicted");
+        assert!(b.access(3, 8));
+    }
+
+    #[test]
+    fn oversized_block_bypasses() {
+        let mut b = L0Buffer::new(32);
+        assert!(!b.access(9, 40));
+        assert!(!b.access(9, 40), "oversized block is never installed");
+        // Small blocks still work.
+        assert!(!b.access(1, 4));
+        assert!(b.access(1, 4));
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut b = L0Buffer::new(32);
+        b.access(1, 1);
+        b.access(1, 1);
+        assert!((b.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,542 @@
+//! The trace-driven fetch engine: walks a program's dynamic block trace
+//! through the cache/ATB/buffer models with Table-1 cycle accounting and
+//! reports IPC (operations delivered per cycle) plus every component's
+//! hit statistics and the bus power figures.
+
+use crate::atb::Atb;
+use crate::buffer::{L0Buffer, DEFAULT_L0_OPS};
+use crate::cache::{BankedCache, CacheConfig};
+use crate::gshare::Gshare;
+use crate::penalty::{Outcome, PenaltyTable};
+use crate::power::BusModel;
+use ccc_core::{AddressTranslationTable, EncodedProgram};
+use tepic_isa::Program;
+use yula::BlockTrace;
+
+/// Which fetch organization to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodingClass {
+    /// Uncompressed baseline (banked cache, predictor, no translation).
+    Base,
+    /// Tailored ISA (extra miss-path stage, translation via ATB).
+    Tailored,
+    /// Huffman-compressed code cached compressed (decompressor on the
+    /// hit path behind the L0 buffer, translation via ATB).
+    Compressed,
+    /// Perfect cache and predictor: one MultiOp per cycle.
+    Ideal,
+}
+
+/// Which next-block predictor the ATB couples to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// The paper's baseline: per-entry 2-bit counter + last target.
+    AtbTwoBit,
+    /// Future-work extension: gshare direction predictor (global history
+    /// XOR block id) with the ATB supplying targets.
+    Gshare {
+        /// log2 of the pattern table size.
+        history_bits: u32,
+    },
+}
+
+/// Full configuration of one simulation.
+#[derive(Debug, Clone)]
+pub struct FetchConfig {
+    /// Fetch organization.
+    pub class: EncodingClass,
+    /// ICache geometry.
+    pub cache: CacheConfig,
+    /// ATB capacity in blocks.
+    pub atb_entries: usize,
+    /// Extra cycles to pull an ATT entry on an ATB miss (translated
+    /// encodings only — Base keeps original addresses).
+    pub atb_miss_penalty: u32,
+    /// L0 buffer capacity in ops (Compressed only).
+    pub l0_ops: u32,
+    /// The Table-1 column.
+    pub penalties: PenaltyTable,
+    /// Next-block prediction mechanism.
+    pub predictor: PredictorKind,
+}
+
+impl FetchConfig {
+    /// The paper's Base configuration: 20KB 2-way, 30-byte lines.
+    pub fn base() -> FetchConfig {
+        FetchConfig {
+            class: EncodingClass::Base,
+            cache: CacheConfig::base(),
+            atb_entries: 64,
+            atb_miss_penalty: 0,
+            l0_ops: DEFAULT_L0_OPS,
+            penalties: PenaltyTable::base(),
+            predictor: PredictorKind::AtbTwoBit,
+        }
+    }
+
+    /// The paper's Tailored configuration: 16KB 2-way.
+    pub fn tailored() -> FetchConfig {
+        FetchConfig {
+            class: EncodingClass::Tailored,
+            cache: CacheConfig::compact(),
+            atb_entries: 64,
+            atb_miss_penalty: 2,
+            l0_ops: DEFAULT_L0_OPS,
+            penalties: PenaltyTable::tailored(),
+            predictor: PredictorKind::AtbTwoBit,
+        }
+    }
+
+    /// The paper's Compressed configuration: 16KB 2-way + 32-op L0.
+    pub fn compressed() -> FetchConfig {
+        FetchConfig {
+            class: EncodingClass::Compressed,
+            cache: CacheConfig::compact(),
+            atb_entries: 64,
+            atb_miss_penalty: 2,
+            l0_ops: DEFAULT_L0_OPS,
+            penalties: PenaltyTable::compressed(),
+            predictor: PredictorKind::AtbTwoBit,
+        }
+    }
+
+    /// Perfect-everything upper bound.
+    pub fn ideal() -> FetchConfig {
+        FetchConfig {
+            class: EncodingClass::Ideal,
+            ..FetchConfig::base()
+        }
+    }
+
+    /// Scaled variant preserving the paper's pressure ratios.
+    ///
+    /// The paper runs SPEC-class binaries (hundreds of KB) against 16KB
+    /// (20KB Base) caches and a 64-entry ATB over thousands of blocks.
+    /// Our workloads are smaller, so the cache scales with the *base*
+    /// image size: the Base cache gets `base_code_bytes × ratio` (the
+    /// default [`FetchConfig::SCALED_RATIO`]), the compact caches keep
+    /// the paper's 16:20 capacity relation, and the 64-entry ATB keeps
+    /// the paper's "very low contention" property (it covers every block
+    /// of our workloads, as the paper's covers SPEC's hot blocks). Line sizes, the L0 buffer and every Table-1 penalty are
+    /// unchanged. See DESIGN.md §4 (substitutions).
+    pub fn scaled(class: EncodingClass, base_code_bytes: usize) -> FetchConfig {
+        let mut cfg = match class {
+            EncodingClass::Base => FetchConfig::base(),
+            EncodingClass::Tailored => FetchConfig::tailored(),
+            EncodingClass::Compressed => FetchConfig::compressed(),
+            EncodingClass::Ideal => return FetchConfig::ideal(),
+        };
+        let base_capacity =
+            ((base_code_bytes as f64 * Self::SCALED_RATIO) as usize).max(8 * cfg.cache.line_bytes);
+        cfg.cache.capacity = match class {
+            EncodingClass::Base => base_capacity,
+            _ => base_capacity * 16 / 20,
+        };
+
+        cfg
+    }
+
+    /// Cache capacity as a fraction of the Base code size in scaled
+    /// configurations (the paper's 20KB vs SPEC-sized-code pressure
+    /// point, transposed).
+    pub const SCALED_RATIO: f64 = 0.3;
+}
+
+/// Everything a simulation run measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchResult {
+    /// Configuration label.
+    pub class: EncodingClass,
+    /// Total fetch cycles.
+    pub cycles: u64,
+    /// Operations delivered.
+    pub ops: u64,
+    /// MultiOps delivered.
+    pub mops: u64,
+    /// Correctly predicted block transitions.
+    pub pred_correct: u64,
+    /// Mispredicted block transitions.
+    pub pred_wrong: u64,
+    /// ICache hits / misses (block granularity).
+    pub cache_hits: u64,
+    /// ICache misses.
+    pub cache_misses: u64,
+    /// L0 buffer hits (Compressed only).
+    pub buffer_hits: u64,
+    /// L0 buffer misses.
+    pub buffer_misses: u64,
+    /// ATB hits.
+    pub atb_hits: u64,
+    /// ATB misses.
+    pub atb_misses: u64,
+    /// Memory-bus beats.
+    pub bus_beats: u64,
+    /// Memory-bus bit flips (the Figure-14 power proxy).
+    pub bus_bit_flips: u64,
+}
+
+impl FetchResult {
+    /// Operations delivered per cycle — the Figure-13 metric.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch prediction accuracy.
+    pub fn pred_accuracy(&self) -> f64 {
+        let t = self.pred_correct + self.pred_wrong;
+        if t == 0 {
+            0.0
+        } else {
+            self.pred_correct as f64 / t as f64
+        }
+    }
+
+    /// ICache hit rate.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let t = self.cache_hits + self.cache_misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / t as f64
+        }
+    }
+
+    /// ATB hit rate (Figure 7's "ATB characteristics").
+    pub fn atb_hit_rate(&self) -> f64 {
+        let t = self.atb_hits + self.atb_misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.atb_hits as f64 / t as f64
+        }
+    }
+}
+
+/// Runs one configuration over a program, its encoded image and its
+/// dynamic trace.
+pub fn simulate(
+    program: &Program,
+    image: &EncodedProgram,
+    trace: &BlockTrace,
+    config: &FetchConfig,
+) -> FetchResult {
+    let att = AddressTranslationTable::build(program, image);
+    let mut atb = Atb::new(config.atb_entries);
+    let mut gshare = match config.predictor {
+        PredictorKind::Gshare { history_bits } => Some(Gshare::new(history_bits)),
+        PredictorKind::AtbTwoBit => None,
+    };
+    let mut cache = BankedCache::new(config.cache);
+    let mut buffer = L0Buffer::new(config.l0_ops);
+    let mut bus = BusModel::new();
+    let compressed = config.class == EncodingClass::Compressed;
+    let translated = matches!(
+        config.class,
+        EncodingClass::Compressed | EncodingClass::Tailored
+    );
+
+    let mut r = FetchResult {
+        class: config.class,
+        cycles: 0,
+        ops: 0,
+        mops: 0,
+        pred_correct: 0,
+        pred_wrong: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        buffer_hits: 0,
+        buffer_misses: 0,
+        atb_hits: 0,
+        atb_misses: 0,
+        bus_beats: 0,
+        bus_bit_flips: 0,
+    };
+
+    // What the previous block's predictor said the current block would be
+    // (None for the very first block: treated as predicted — cold start).
+    let mut predicted_cur: Option<u32> = None;
+
+    for (cur, next) in trace.transitions() {
+        let info = &program.blocks()[cur as usize];
+        r.ops += info.num_ops as u64;
+        r.mops += info.num_mops as u64;
+
+        if config.class == EncodingClass::Ideal {
+            r.cycles += info.num_mops as u64;
+            continue;
+        }
+
+        let predicted = predicted_cur.is_none_or(|p| p == cur);
+        if predicted_cur.is_some() {
+            if predicted {
+                r.pred_correct += 1;
+            } else {
+                r.pred_wrong += 1;
+            }
+        }
+
+        let atb_hit = atb.access(cur, att.lookup(cur as usize));
+        if translated && !atb_hit {
+            r.cycles += config.atb_miss_penalty as u64;
+        }
+
+        let (start, end) = image.block_range(cur as usize);
+        let lines = config.cache.lines_spanned(start, end);
+
+        // The L0 buffer has priority over the main cache (paper §4): a
+        // buffer hit never touches the cache or the bus.
+        let buffer_hit = compressed && buffer.access(cur, info.num_ops as u32);
+        let cache_hit = if buffer_hit {
+            true
+        } else {
+            let access = cache.access_block(start, end);
+            for &l in &access.fetched_lines {
+                bus.transfer_line(&image.bytes, l, config.cache.line_bytes);
+            }
+            access.hit
+        };
+
+        let pen = config.penalties.penalty(Outcome {
+            predicted,
+            cache_hit,
+            buffer_hit,
+        });
+        r.cycles += pen.cycles(lines) as u64 + (info.num_mops as u64).saturating_sub(1);
+
+        // Predict the next block from this block's entry, then train.
+        if let Some(n) = next {
+            predicted_cur = Some(match &gshare {
+                Some(g) => {
+                    if g.predict_taken(cur) {
+                        atb.last_target(cur).unwrap_or(cur + 1)
+                    } else {
+                        cur + 1
+                    }
+                }
+                None => atb.predict_next(cur),
+            });
+            if let Some(g) = &mut gshare {
+                g.train(cur, n != cur + 1);
+            }
+            atb.train(cur, n);
+        }
+    }
+
+    r.cache_hits = cache.hits();
+    r.cache_misses = cache.misses();
+    r.buffer_hits = buffer.hits();
+    r.buffer_misses = buffer.misses();
+    r.atb_hits = atb.hits();
+    r.atb_misses = atb.misses();
+    r.bus_beats = bus.beats();
+    r.bus_bit_flips = bus.bit_flips();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_core::schemes::{
+        base::encode_base, full::FullScheme, tailored::TailoredScheme, Scheme,
+    };
+    use yula::{Emulator, Limits};
+
+    struct Setup {
+        program: Program,
+        trace: BlockTrace,
+        base_img: EncodedProgram,
+        tail_img: EncodedProgram,
+        comp_img: EncodedProgram,
+    }
+
+    fn setup(src: &str) -> Setup {
+        let program = lego::compile(src, &lego::Options::default()).unwrap();
+        let run = Emulator::new(&program).run(&Limits::default()).unwrap();
+        let base_img = encode_base(&program);
+        let tail_img = TailoredScheme.compress(&program).unwrap().image;
+        let comp_img = FullScheme::default().compress(&program).unwrap().image;
+        Setup {
+            program,
+            trace: run.trace,
+            base_img,
+            tail_img,
+            comp_img,
+        }
+    }
+
+    fn loopy() -> Setup {
+        setup(
+            r#"
+            global a[64];
+            fn main() {
+                var i; var j; var s = 0;
+                for (i = 0; i < 40; i = i + 1) {
+                    for (j = 0; j < 40; j = j + 1) {
+                        s = s + (i ^ j);
+                        if (s > 100000) { s = s - 100000; }
+                    }
+                    a[i] = s;
+                }
+                print(s);
+            }
+        "#,
+        )
+    }
+
+    #[test]
+    fn ideal_bounds_everything() {
+        let s = loopy();
+        let ideal = simulate(&s.program, &s.base_img, &s.trace, &FetchConfig::ideal());
+        let base = simulate(&s.program, &s.base_img, &s.trace, &FetchConfig::base());
+        let tail = simulate(&s.program, &s.tail_img, &s.trace, &FetchConfig::tailored());
+        let comp = simulate(
+            &s.program,
+            &s.comp_img,
+            &s.trace,
+            &FetchConfig::compressed(),
+        );
+        assert!(ideal.ipc() >= base.ipc());
+        assert!(ideal.ipc() >= tail.ipc());
+        assert!(ideal.ipc() >= comp.ipc());
+        assert!(ideal.ipc() <= 6.0 + 1e-9, "issue width bounds the ideal");
+        // All deliver the same instruction stream.
+        assert_eq!(ideal.ops, base.ops);
+        assert_eq!(base.ops, tail.ops);
+        assert_eq!(base.ops, comp.ops);
+    }
+
+    #[test]
+    fn tight_loop_warms_every_structure() {
+        let s = loopy();
+        let base = simulate(&s.program, &s.base_img, &s.trace, &FetchConfig::base());
+        assert!(
+            base.cache_hit_rate() > 0.95,
+            "hot loop should hit: {}",
+            base.cache_hit_rate()
+        );
+        assert!(
+            base.pred_accuracy() > 0.7,
+            "2-bit counters learn loops: {}",
+            base.pred_accuracy()
+        );
+        let comp = simulate(
+            &s.program,
+            &s.comp_img,
+            &s.trace,
+            &FetchConfig::compressed(),
+        );
+        assert!(
+            comp.atb_hit_rate() > 0.9,
+            "ATB contention is low: {}",
+            comp.atb_hit_rate()
+        );
+        assert!(
+            comp.buffer_hits + comp.buffer_misses > 0,
+            "compressed path exercises the buffer"
+        );
+    }
+
+    #[test]
+    fn compression_reduces_bus_traffic() {
+        // Figure 14's shape: compressed encodings move fewer bits for
+        // the same instruction stream.
+        let s = loopy();
+        let base = simulate(&s.program, &s.base_img, &s.trace, &FetchConfig::base());
+        let tail = simulate(&s.program, &s.tail_img, &s.trace, &FetchConfig::tailored());
+        let comp = simulate(
+            &s.program,
+            &s.comp_img,
+            &s.trace,
+            &FetchConfig::compressed(),
+        );
+        assert!(
+            tail.bus_beats <= base.bus_beats,
+            "tailored beats {} vs base {}",
+            tail.bus_beats,
+            base.bus_beats
+        );
+        assert!(
+            comp.bus_beats <= base.bus_beats,
+            "compressed beats {} vs base {}",
+            comp.bus_beats,
+            base.bus_beats
+        );
+    }
+
+    #[test]
+    fn cycles_monotone_in_penalties() {
+        // Same trace and image under a strictly costlier table must not
+        // get faster.
+        let s = loopy();
+        let cheap = simulate(
+            &s.program,
+            &s.tail_img,
+            &s.trace,
+            &FetchConfig {
+                penalties: PenaltyTable::base(),
+                ..FetchConfig::tailored()
+            },
+        );
+        let costly = simulate(&s.program, &s.tail_img, &s.trace, &FetchConfig::tailored());
+        assert!(costly.cycles >= cheap.cycles);
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = loopy();
+        let a = simulate(
+            &s.program,
+            &s.comp_img,
+            &s.trace,
+            &FetchConfig::compressed(),
+        );
+        let b = simulate(
+            &s.program,
+            &s.comp_img,
+            &s.trace,
+            &FetchConfig::compressed(),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn branchy_code_mispredicts_more_than_straight() {
+        let straight = setup(
+            "fn main() { var i; var s = 0; for (i = 0; i < 2000; i = i + 1) { s = s + i; } print(s); }",
+        );
+        let branchy = setup(
+            r#"
+            fn main() {
+                var i; var s = 0; var v = 12345;
+                for (i = 0; i < 2000; i = i + 1) {
+                    v = (v * 1103 + 12345) % 65536;
+                    if (v % 2 == 0) { s = s + 1; } else { s = s - 1; }
+                }
+                print(s);
+            }
+        "#,
+        );
+        let a = simulate(
+            &straight.program,
+            &straight.base_img,
+            &straight.trace,
+            &FetchConfig::base(),
+        );
+        let b = simulate(
+            &branchy.program,
+            &branchy.base_img,
+            &branchy.trace,
+            &FetchConfig::base(),
+        );
+        assert!(
+            b.pred_accuracy() < a.pred_accuracy(),
+            "random branches must hurt: {} vs {}",
+            b.pred_accuracy(),
+            a.pred_accuracy()
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! The paper's Table 1: cycle-count assumptions per fetch outcome.
+//!
+//! Each entry gives the cycles to deliver the *first* MultiOp of a block,
+//! as a function of whether the previous block predicted this one
+//! correctly, whether the block hit in the ICache, and (Compressed only)
+//! whether it hit in the L0 decompression buffer. Entries written
+//! `k+(n−1)` scale with `n`, the number of memory lines the block
+//! occupies. Subsequent MOPs of the block stream at one per cycle.
+
+use std::fmt;
+
+/// One Table-1 cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Penalty {
+    /// Cycles for the first MOP.
+    pub base: u32,
+    /// Whether `(n−1)` extra cycles accrue for an `n`-line block.
+    pub scales_with_lines: bool,
+}
+
+impl Penalty {
+    const fn fixed(base: u32) -> Penalty {
+        Penalty {
+            base,
+            scales_with_lines: false,
+        }
+    }
+
+    const fn lines(base: u32) -> Penalty {
+        Penalty {
+            base,
+            scales_with_lines: true,
+        }
+    }
+
+    /// Cycles for a block spanning `lines` memory lines.
+    pub fn cycles(&self, lines: u32) -> u32 {
+        self.base
+            + if self.scales_with_lines {
+                lines.saturating_sub(1)
+            } else {
+                0
+            }
+    }
+}
+
+impl fmt::Display for Penalty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.scales_with_lines {
+            write!(f, "{}+(n-1)", self.base)
+        } else if self.base == 1 {
+            write!(f, "1cycle")
+        } else {
+            write!(f, "{}cycles", self.base)
+        }
+    }
+}
+
+/// A fetch outcome, indexing into the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome {
+    /// The previous block's prediction named this block.
+    pub predicted: bool,
+    /// The block's lines were present in the ICache.
+    pub cache_hit: bool,
+    /// The block was present in the L0 buffer (Compressed only; ignored
+    /// by Base and Tailored, whose rows coincide across this axis).
+    pub buffer_hit: bool,
+}
+
+/// The full 2×2×2 table for one encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PenaltyTable {
+    name: &'static str,
+    /// `[predicted][cache_hit][buffer_hit]`.
+    entries: [[[Penalty; 2]; 2]; 2],
+}
+
+impl PenaltyTable {
+    /// Table 1, Base column.
+    pub fn base() -> PenaltyTable {
+        let hit = Penalty::fixed(1);
+        let miss = Penalty::lines(1);
+        let whit = Penalty::fixed(2);
+        let wmiss = Penalty::lines(8);
+        PenaltyTable {
+            name: "Base",
+            entries: [
+                // predicted = false
+                [[wmiss, wmiss], [whit, whit]],
+                // predicted = true
+                [[miss, miss], [hit, hit]],
+            ],
+        }
+    }
+
+    /// Table 1, Tailored column: +1 cycle on the miss path (extraction/
+    /// placement stage), +1 on the mispredict+miss path.
+    pub fn tailored() -> PenaltyTable {
+        let hit = Penalty::fixed(1);
+        let miss = Penalty::lines(2);
+        let whit = Penalty::fixed(2);
+        let wmiss = Penalty::lines(9);
+        PenaltyTable {
+            name: "Tailored",
+            entries: [[[wmiss, wmiss], [whit, whit]], [[miss, miss], [hit, hit]]],
+        }
+    }
+
+    /// Table 1, Compressed column: the L0 buffer supplies ready MOPs in
+    /// one cycle regardless of anything else; otherwise the decompressor
+    /// stage stretches every path, to `10+(n−1)` on mispredict+miss.
+    pub fn compressed() -> PenaltyTable {
+        PenaltyTable {
+            name: "Compressed",
+            entries: [
+                // predicted = false: [cache miss, cache hit] × [buf miss, buf hit]
+                [
+                    [Penalty::lines(10), Penalty::fixed(1)],
+                    [Penalty::lines(2), Penalty::fixed(1)],
+                ],
+                // predicted = true
+                [
+                    [Penalty::lines(3), Penalty::fixed(1)],
+                    [Penalty::lines(1), Penalty::fixed(1)],
+                ],
+            ],
+        }
+    }
+
+    /// The encoding name this table models.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Looks up an outcome.
+    pub fn penalty(&self, o: Outcome) -> Penalty {
+        self.entries[o.predicted as usize][o.cache_hit as usize][o.buffer_hit as usize]
+    }
+
+    /// Renders the paper's Table 1 for the three encodings.
+    pub fn render_table1() -> String {
+        let tables = [Self::base(), Self::tailored(), Self::compressed()];
+        let mut out = String::new();
+        out.push_str("Table 1. Cache study cycle count assumptions summary.\n");
+        out.push_str("(Base and Tailored do not employ a buffer: rows coincide)\n\n");
+        out.push_str(&format!(
+            "{:<28}{:>10}{:>10}{:>12}\n",
+            "", "Base", "Tailored", "Compressed"
+        ));
+        let rows = [
+            (
+                "pred correct / hit  / Bhit",
+                Outcome {
+                    predicted: true,
+                    cache_hit: true,
+                    buffer_hit: true,
+                },
+            ),
+            (
+                "pred correct / hit  / Bmiss",
+                Outcome {
+                    predicted: true,
+                    cache_hit: true,
+                    buffer_hit: false,
+                },
+            ),
+            (
+                "pred correct / miss / Bhit",
+                Outcome {
+                    predicted: true,
+                    cache_hit: false,
+                    buffer_hit: true,
+                },
+            ),
+            (
+                "pred correct / miss / Bmiss",
+                Outcome {
+                    predicted: true,
+                    cache_hit: false,
+                    buffer_hit: false,
+                },
+            ),
+            (
+                "pred wrong   / hit  / Bhit",
+                Outcome {
+                    predicted: false,
+                    cache_hit: true,
+                    buffer_hit: true,
+                },
+            ),
+            (
+                "pred wrong   / hit  / Bmiss",
+                Outcome {
+                    predicted: false,
+                    cache_hit: true,
+                    buffer_hit: false,
+                },
+            ),
+            (
+                "pred wrong   / miss / Bhit",
+                Outcome {
+                    predicted: false,
+                    cache_hit: false,
+                    buffer_hit: true,
+                },
+            ),
+            (
+                "pred wrong   / miss / Bmiss",
+                Outcome {
+                    predicted: false,
+                    cache_hit: false,
+                    buffer_hit: false,
+                },
+            ),
+        ];
+        for (label, o) in rows {
+            out.push_str(&format!(
+                "{:<28}{:>10}{:>10}{:>12}\n",
+                label,
+                tables[0].penalty(o).to_string(),
+                tables[1].penalty(o).to_string(),
+                tables[2].penalty(o).to_string()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(predicted: bool, cache_hit: bool, buffer_hit: bool) -> Outcome {
+        Outcome {
+            predicted,
+            cache_hit,
+            buffer_hit,
+        }
+    }
+
+    #[test]
+    fn base_matches_table1() {
+        let t = PenaltyTable::base();
+        assert_eq!(t.penalty(o(true, true, true)).cycles(4), 1);
+        assert_eq!(t.penalty(o(true, false, false)).cycles(4), 4); // 1+(4-1)
+        assert_eq!(t.penalty(o(false, true, false)).cycles(4), 2);
+        assert_eq!(t.penalty(o(false, false, true)).cycles(4), 11); // 8+(4-1)
+    }
+
+    #[test]
+    fn tailored_matches_table1() {
+        let t = PenaltyTable::tailored();
+        assert_eq!(t.penalty(o(true, true, false)).cycles(1), 1);
+        assert_eq!(t.penalty(o(true, false, true)).cycles(3), 4); // 2+(3-1)
+        assert_eq!(t.penalty(o(false, true, true)).cycles(1), 2);
+        assert_eq!(t.penalty(o(false, false, false)).cycles(2), 10); // 9+(2-1)
+    }
+
+    #[test]
+    fn compressed_matches_table1() {
+        let t = PenaltyTable::compressed();
+        // Buffer hit always costs 1 cycle, whatever else happened.
+        for p in [true, false] {
+            for c in [true, false] {
+                assert_eq!(t.penalty(o(p, c, true)).cycles(9), 1);
+            }
+        }
+        assert_eq!(t.penalty(o(true, true, false)).cycles(3), 3); // 1+(3-1)
+        assert_eq!(t.penalty(o(true, false, false)).cycles(3), 5); // 3+(3-1)
+        assert_eq!(t.penalty(o(false, true, false)).cycles(3), 4); // 2+(3-1)
+        assert_eq!(t.penalty(o(false, false, false)).cycles(3), 12); // 10+(3-1)
+    }
+
+    #[test]
+    fn deeper_pipeline_costs_more_on_mispredict() {
+        // The central Figure-13 driver: Compressed's worst case exceeds
+        // Tailored's exceeds Base's.
+        let worst = |t: &PenaltyTable| t.penalty(o(false, false, false)).cycles(1);
+        assert!(worst(&PenaltyTable::compressed()) > worst(&PenaltyTable::tailored()));
+        assert!(worst(&PenaltyTable::tailored()) > worst(&PenaltyTable::base()));
+    }
+
+    #[test]
+    fn one_line_blocks_pay_no_line_surcharge() {
+        let p = Penalty {
+            base: 3,
+            scales_with_lines: true,
+        };
+        assert_eq!(p.cycles(1), 3);
+        assert_eq!(p.cycles(0), 3);
+        assert_eq!(p.cycles(5), 7);
+    }
+
+    #[test]
+    fn render_contains_all_columns() {
+        let s = PenaltyTable::render_table1();
+        assert!(s.contains("Base"));
+        assert!(s.contains("Tailored"));
+        assert!(s.contains("Compressed"));
+        assert!(s.contains("10+(n-1)"));
+        assert!(s.contains("9+(n-1)"));
+        assert!(s.contains("8+(n-1)"));
+    }
+}

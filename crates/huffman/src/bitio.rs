@@ -1,0 +1,228 @@
+//! MSB-first bit-level readers and writers.
+//!
+//! Compressed code is a bit stream; blocks are byte-aligned by the layout
+//! engine (paper §3.3: "we address this by aligning the first op of a block
+//! to byte boundaries"), so the writer exposes [`BitWriter::align_byte`]
+//! and reports bit positions.
+
+/// Accumulates bits most-significant-first into a byte vector.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the final partial byte (0..8).
+    used: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Appends the low `len` bits of `code`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn write_bits(&mut self, code: u64, len: u32) {
+        assert!(len <= 64, "cannot write {len} bits at once");
+        for i in (0..len).rev() {
+            self.write_bit((code >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= 1 << (7 - self.used);
+        }
+        self.used = (self.used + 1) % 8;
+    }
+
+    /// Pads with zero bits to the next byte boundary and returns how many
+    /// padding bits were added.
+    pub fn align_byte(&mut self) -> u32 {
+        let pad = (8 - self.used) % 8;
+        for _ in 0..pad {
+            self.write_bit(false);
+        }
+        pad
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        if self.used == 0 {
+            self.bytes.len() as u64 * 8
+        } else {
+            (self.bytes.len() as u64 - 1) * 8 + self.used as u64
+        }
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Finishes the stream (zero-padding the final byte) and returns the
+    /// bytes.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.align_byte();
+        self.bytes
+    }
+
+    /// Borrowed view of the full bytes written so far (final byte may be
+    /// partially filled, padded with zeros).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Reads bits most-significant-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Absolute bit cursor.
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`, positioned at bit 0.
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Creates a reader positioned at an absolute bit offset.
+    pub fn at_bit(bytes: &'a [u8], bit: u64) -> BitReader<'a> {
+        BitReader { bytes, pos: bit }
+    }
+
+    /// Current absolute bit position.
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Remaining readable bits.
+    pub fn remaining(&self) -> u64 {
+        (self.bytes.len() as u64 * 8).saturating_sub(self.pos)
+    }
+
+    /// Reads one bit; `None` at end of stream.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        let byte = (self.pos / 8) as usize;
+        if byte >= self.bytes.len() {
+            return None;
+        }
+        let bit = 7 - (self.pos % 8) as u32;
+        self.pos += 1;
+        Some((self.bytes[byte] >> bit) & 1 == 1)
+    }
+
+    /// Reads `len` bits MSB-first; `None` if fewer remain.
+    pub fn read_bits(&mut self, len: u32) -> Option<u64> {
+        assert!(len <= 64);
+        if self.remaining() < len as u64 {
+            return None;
+        }
+        let mut v = 0u64;
+        for _ in 0..len {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Some(v)
+    }
+
+    /// Skips forward to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_bit_patterns() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xFF, 8);
+        w.write_bits(0, 5);
+        w.write_bits(0b110011, 6);
+        let total = w.bit_len();
+        assert_eq!(total, 22);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(8), Some(0xFF));
+        assert_eq!(r.read_bits(5), Some(0));
+        assert_eq!(r.read_bits(6), Some(0b110011));
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn align_byte_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        assert_eq!(w.align_byte(), 6);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bits(0b1, 1);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1100_0000, 0b1000_0000]);
+    }
+
+    #[test]
+    fn align_on_boundary_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xAB, 8);
+        assert_eq!(w.align_byte(), 0);
+        assert_eq!(w.bit_len(), 8);
+    }
+
+    #[test]
+    fn reader_at_bit_offset() {
+        let bytes = [0b0000_0001, 0b1000_0000];
+        let mut r = BitReader::at_bit(&bytes, 7);
+        assert_eq!(r.read_bits(2), Some(0b11));
+        assert_eq!(r.bit_pos(), 9);
+    }
+
+    #[test]
+    fn reader_stops_at_end() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8), Some(0xFF));
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(1), None);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn write_64_bit_value() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0xFF; 8]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn reader_align_byte() {
+        let bytes = [0b1010_1010, 0b0101_0101];
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(3);
+        r.align_byte();
+        assert_eq!(r.bit_pos(), 8);
+        assert_eq!(r.read_bits(8), Some(0b0101_0101));
+    }
+}

@@ -1,0 +1,133 @@
+//! The paper's worst-case Huffman-decoder hardware complexity model
+//! (§3.5, Figures 9–10).
+//!
+//! The decoder is modelled as a full multiplexer tree of depth `n` (longest
+//! code, in bits) over `k` dictionary entries of up to `m` bits each,
+//! implemented with CMOS transmission gates (two transistors per mux).
+//! The worst-case transistor count is
+//!
+//! ```text
+//! T = 2m(2^n − 1) + 4m(2^n − 2^(n−1) − 1) + 2n
+//! ```
+//!
+//! — the first term is the mux tree over `m`-bit values, the second the
+//! inverter pairs for interior rows (the first row passes constants and
+//! needs only one transistor), the last the `n` select-line inverters. The
+//! paper uses this purely as a *comparison criterion* between schemes, not
+//! as a real layout estimate; so do we.
+
+/// Parameters of a Huffman decoder in the paper's model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecoderComplexity {
+    /// Longest Huffman code, bits.
+    pub n: u32,
+    /// Dictionary entries.
+    pub k: usize,
+    /// Longest dictionary entry, bits (8 for byte-wise, 40 for Full, the
+    /// stream width for stream schemes).
+    pub m: u32,
+}
+
+impl DecoderComplexity {
+    /// Worst-case transistor estimate `T`.
+    ///
+    /// Saturates at `u128::MAX` for absurd inputs (n ≥ ~120).
+    pub fn transistors(&self) -> u128 {
+        decoder_transistors(self.n, self.m)
+    }
+
+    /// A rough throughput-normalized figure: transistors per dictionary
+    /// entry. Exposed because Figure 10's discussion contrasts decoder
+    /// size against dictionary size.
+    pub fn transistors_per_entry(&self) -> f64 {
+        if self.k == 0 {
+            return 0.0;
+        }
+        self.transistors() as f64 / self.k as f64
+    }
+}
+
+/// The paper's equation: `T = 2m(2^n − 1) + 4m(2^n − 2^(n−1) − 1) + 2n`.
+///
+/// `n` is the longest code length in bits and `m` the longest dictionary
+/// entry in bits. For `n = 0` (degenerate single-code books are given
+/// n = 1 by the code builder, so this only happens for empty books) the
+/// result is 0.
+pub fn decoder_transistors(n: u32, m: u32) -> u128 {
+    if n == 0 {
+        return 0;
+    }
+    let m = m as u128;
+    let n_ = n as u128;
+    let pow = |e: u32| -> u128 { 1u128.checked_shl(e).unwrap_or(u128::MAX) };
+    let two_n = pow(n);
+    let two_n1 = pow(n - 1);
+    let t1 = 2u128
+        .saturating_mul(m)
+        .saturating_mul(two_n.saturating_sub(1));
+    let t2 = 4u128
+        .saturating_mul(m)
+        .saturating_mul(two_n.saturating_sub(two_n1).saturating_sub(1));
+    t1.saturating_add(t2).saturating_add(2 * n_)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_hand_computation() {
+        // n=4, m=8: T = 2*8*(16-1) + 4*8*(16-8-1) + 2*4 = 240 + 224 + 8 = 472.
+        assert_eq!(decoder_transistors(4, 8), 472);
+    }
+
+    #[test]
+    fn n_one_edge_case() {
+        // n=1, m=8: T = 2*8*(2-1) + 4*8*(2-1-1) + 2 = 16 + 0 + 2 = 18.
+        assert_eq!(decoder_transistors(1, 8), 18);
+    }
+
+    #[test]
+    fn zero_n_is_zero() {
+        assert_eq!(decoder_transistors(0, 40), 0);
+    }
+
+    #[test]
+    fn grows_exponentially_in_n() {
+        let t8 = decoder_transistors(8, 40);
+        let t16 = decoder_transistors(16, 40);
+        assert!(t16 > 200 * t8);
+    }
+
+    #[test]
+    fn grows_linearly_in_m() {
+        let t8 = decoder_transistors(10, 8);
+        let t40 = decoder_transistors(10, 40);
+        // Ratio is (2m+4m)·stuff + 2n, close to 5x for m 8→40.
+        let ratio = t40 as f64 / t8 as f64;
+        assert!((ratio - 5.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn paper_ballpark_for_published_decoders() {
+        // §3.5 cites real decoders: 114 entries, codes 1..16 bits, budget
+        // 10k–28k transistors. Our *worst-case* model must be at least that
+        // (it is a full-tree upper bound, hugely pessimistic at n=16).
+        let t = decoder_transistors(16, 8);
+        assert!(t > 28_000);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let t = decoder_transistors(130, 40);
+        assert_eq!(t, u128::MAX);
+    }
+
+    #[test]
+    fn per_entry_metric() {
+        let c = DecoderComplexity { n: 4, k: 10, m: 8 };
+        assert!((c.transistors_per_entry() - 47.2).abs() < 1e-9);
+        let empty = DecoderComplexity { n: 4, k: 0, m: 8 };
+        assert_eq!(empty.transistors_per_entry(), 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Canonical table-driven Huffman decoding.
+//!
+//! Models the software view of the PLA decoder: per-length `first_code` /
+//! `first_index` tables over the canonical code space. Decoding consumes
+//! one bit at a time, exactly like the paper's Huffman-tree hardware
+//! (Figure 9) walks one level per multiplexer row.
+
+use crate::bitio::BitReader;
+use crate::code::CodeBook;
+
+/// A canonical Huffman decoder built from a [`CodeBook`].
+#[derive(Debug, Clone)]
+pub struct CanonicalDecoder {
+    /// `first_code[l]` = canonical code value of the first code of length l.
+    first_code: Vec<u64>,
+    /// `first_index[l]` = index into `symbols` of that first code.
+    first_index: Vec<usize>,
+    /// Number of codes of each length.
+    count: Vec<usize>,
+    /// Symbols in canonical order.
+    symbols: Vec<u32>,
+    max_len: u8,
+}
+
+impl CanonicalDecoder {
+    /// Builds the decoder tables.
+    pub fn new(book: &CodeBook) -> CanonicalDecoder {
+        let max_len = book.max_len();
+        let mut symbols: Vec<u32> = (0..book.alphabet_size() as u32)
+            .filter(|&s| book.len_of(s) > 0)
+            .collect();
+        symbols.sort_by_key(|&s| (book.len_of(s), s));
+        let mut first_code = vec![0u64; max_len as usize + 1];
+        let mut first_index = vec![0usize; max_len as usize + 1];
+        let mut count = vec![0usize; max_len as usize + 1];
+        for &s in &symbols {
+            count[book.len_of(s) as usize] += 1;
+        }
+        let mut code = 0u64;
+        let mut index = 0usize;
+        for l in 1..=max_len as usize {
+            code <<= 1;
+            first_code[l] = code;
+            first_index[l] = index;
+            code += count[l] as u64;
+            index += count[l];
+        }
+        CanonicalDecoder {
+            first_code,
+            first_index,
+            count,
+            symbols,
+            max_len,
+        }
+    }
+
+    /// Decodes one symbol from the reader; `None` on end-of-stream or a
+    /// code not in the book.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Option<u32> {
+        let mut code = 0u64;
+        for l in 1..=self.max_len as usize {
+            code = (code << 1) | r.read_bit()? as u64;
+            if self.count[l] > 0 {
+                let offset = code.wrapping_sub(self.first_code[l]);
+                if code >= self.first_code[l] && (offset as usize) < self.count[l] {
+                    return Some(self.symbols[self.first_index[l] + offset as usize]);
+                }
+            }
+        }
+        None
+    }
+
+    /// Decodes exactly `n` symbols.
+    ///
+    /// Returns `None` if the stream ends early or contains an invalid code.
+    pub fn decode_n(&self, r: &mut BitReader<'_>, n: usize) -> Option<Vec<u32>> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.decode(r)?);
+        }
+        Some(out)
+    }
+
+    /// Longest code length this decoder handles (`n` in the paper's
+    /// complexity model).
+    pub fn max_len(&self) -> u8 {
+        self.max_len
+    }
+
+    /// Dictionary size (`k` in the paper's complexity model).
+    pub fn dictionary_size(&self) -> usize {
+        self.symbols.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitio::BitWriter;
+
+    fn round_trip(freqs: &[u64], message: &[u32]) {
+        let book = CodeBook::from_freqs(freqs).unwrap();
+        let mut w = BitWriter::new();
+        for &s in message {
+            book.encode_into(s, &mut w);
+        }
+        let bytes = w.into_bytes();
+        let dec = book.decoder();
+        let mut r = BitReader::new(&bytes);
+        let out = dec.decode_n(&mut r, message.len()).expect("decodes");
+        assert_eq!(out, message);
+    }
+
+    #[test]
+    fn simple_round_trip() {
+        round_trip(&[10, 3, 1, 1], &[0, 1, 2, 3, 0, 0, 1]);
+    }
+
+    #[test]
+    fn skewed_round_trip() {
+        let freqs: Vec<u64> = (0..32).map(|i| 1u64 << (31 - i)).collect();
+        let msg: Vec<u32> = (0..32).chain((0..32).rev()).collect();
+        round_trip(&freqs, &msg);
+    }
+
+    #[test]
+    fn single_symbol_round_trip() {
+        round_trip(&[0, 5], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn bounded_book_round_trip() {
+        let freqs: Vec<u64> = (0..64).map(|i| (i as u64 + 1) * (i as u64 + 1)).collect();
+        let book = CodeBook::bounded_from_freqs(&freqs, 9).unwrap();
+        let msg: Vec<u32> = (0..64).collect();
+        let mut w = BitWriter::new();
+        for &s in &msg {
+            book.encode_into(s, &mut w);
+        }
+        let bytes = w.into_bytes();
+        let dec = book.decoder();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(dec.decode_n(&mut r, msg.len()).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_stream_returns_none() {
+        let book = CodeBook::from_freqs(&[1, 1, 1, 1]).unwrap();
+        let dec = book.decoder();
+        // One symbol needs 2 bits; give it only 1 byte = 4 symbols max,
+        // then ask for 5.
+        let mut w = BitWriter::new();
+        for s in [0u32, 1, 2, 3] {
+            book.encode_into(s, &mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert!(dec.decode_n(&mut r, 5).is_none());
+    }
+
+    #[test]
+    fn decoder_metadata_matches_book() {
+        let freqs = [9u64, 4, 0, 2, 1];
+        let book = CodeBook::from_freqs(&freqs).unwrap();
+        let dec = book.decoder();
+        assert_eq!(dec.dictionary_size(), 4);
+        assert_eq!(dec.max_len(), book.max_len());
+    }
+}

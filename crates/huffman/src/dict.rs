@@ -1,0 +1,156 @@
+//! Dense symbol dictionaries over arbitrary hashable alphabets.
+//!
+//! The *Full* compression scheme Huffman-codes whole 40-bit operations; a
+//! [`Dictionary`] maps each distinct value to a dense symbol id so the
+//! generic [`crate::CodeBook`] machinery applies. The dictionary also
+//! tracks frequencies (the static histogram the compiler builds).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A dense, frequency-counting dictionary over values of type `T`.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary<T> {
+    ids: HashMap<T, u32>,
+    values: Vec<T>,
+    freqs: Vec<u64>,
+}
+
+impl<T: Eq + Hash + Clone> Dictionary<T> {
+    /// Creates an empty dictionary.
+    pub fn new() -> Dictionary<T> {
+        Dictionary {
+            ids: HashMap::new(),
+            values: Vec::new(),
+            freqs: Vec::new(),
+        }
+    }
+
+    /// Records one occurrence of `value`, returning its dense id.
+    pub fn record(&mut self, value: T) -> u32 {
+        match self.ids.get(&value) {
+            Some(&id) => {
+                self.freqs[id as usize] += 1;
+                id
+            }
+            None => {
+                let id = self.values.len() as u32;
+                self.ids.insert(value.clone(), id);
+                self.values.push(value);
+                self.freqs.push(1);
+                id
+            }
+        }
+    }
+
+    /// Builds a dictionary from an iterator of occurrences.
+    pub fn from_iter_counted<I: IntoIterator<Item = T>>(iter: I) -> Dictionary<T> {
+        let mut d = Dictionary::new();
+        for v in iter {
+            d.record(v);
+        }
+        d
+    }
+
+    /// The dense id of `value`, if it has been recorded.
+    pub fn id_of(&self, value: &T) -> Option<u32> {
+        self.ids.get(value).copied()
+    }
+
+    /// The value with dense id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn value_of(&self, id: u32) -> &T {
+        &self.values[id as usize]
+    }
+
+    /// Occurrence counts indexed by dense id.
+    pub fn freqs(&self) -> &[u64] {
+        &self.freqs
+    }
+
+    /// Number of distinct values recorded.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total occurrences recorded.
+    pub fn total(&self) -> u64 {
+        self.freqs.iter().sum()
+    }
+
+    /// Iterates over `(value, frequency)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, u64)> {
+        self.values.iter().zip(self.freqs.iter().copied())
+    }
+}
+
+impl<T: Eq + Hash + Clone> FromIterator<T> for Dictionary<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Dictionary<T> {
+        Dictionary::from_iter_counted(iter)
+    }
+}
+
+impl<T: Eq + Hash + Clone> Extend<T> for Dictionary<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.record("a"), 0);
+        assert_eq!(d.record("b"), 1);
+        assert_eq!(d.record("a"), 0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.freqs(), &[2, 1]);
+        assert_eq!(d.total(), 3);
+        assert_eq!(d.id_of(&"a"), Some(0));
+        assert_eq!(d.id_of(&"z"), None);
+        assert_eq!(*d.value_of(1), "b");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let d: Dictionary<u64> = [5u64, 5, 7, 5, 9].into_iter().collect();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.freqs()[d.id_of(&5).unwrap() as usize], 3);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut d: Dictionary<u8> = Dictionary::new();
+        d.extend([1u8, 2, 3]);
+        d.extend([3u8, 3]);
+        assert_eq!(d.total(), 5);
+        assert_eq!(d.freqs()[d.id_of(&3).unwrap() as usize], 3);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d: Dictionary<u32> = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.total(), 0);
+    }
+
+    #[test]
+    fn iter_pairs_in_id_order() {
+        let d: Dictionary<char> = "abacab".chars().collect();
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs, vec![(&'a', 3), (&'b', 2), (&'c', 1)]);
+    }
+}

@@ -1,0 +1,233 @@
+//! CFG analyses: predecessors/successors, reverse postorder, reachability,
+//! natural-loop depth estimation.
+//!
+//! Loop depth feeds the register allocator's spill weights and the
+//! compiler's static block-frequency estimate (used for treegion formation
+//! when no profile is available).
+
+use crate::func::Function;
+use crate::inst::BlockRef;
+
+/// Precomputed CFG facts for one function.
+#[derive(Debug, Clone)]
+pub struct CfgInfo {
+    /// Successors per block.
+    pub succs: Vec<Vec<BlockRef>>,
+    /// Predecessors per block.
+    pub preds: Vec<Vec<BlockRef>>,
+    /// Blocks in reverse postorder from the entry (unreachable blocks
+    /// excluded).
+    pub rpo: Vec<BlockRef>,
+    /// Position of each block in `rpo`; `usize::MAX` when unreachable.
+    pub rpo_index: Vec<usize>,
+    /// Natural-loop nesting depth per block (0 = not in a loop).
+    pub loop_depth: Vec<u32>,
+}
+
+impl CfgInfo {
+    /// Computes all facts for `f`.
+    pub fn compute(f: &Function) -> CfgInfo {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for b in f.block_refs() {
+            for s in f.block(b).term.successors() {
+                succs[b.0 as usize].push(s);
+                preds[s.0 as usize].push(b);
+            }
+        }
+
+        // Iterative DFS for postorder.
+        let mut post: Vec<BlockRef> = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut on_stack = vec![false; n];
+        let mut back_edges: Vec<(BlockRef, BlockRef)> = Vec::new();
+        // Stack of (block, next-successor-index).
+        let mut stack: Vec<(BlockRef, usize)> = vec![(BlockRef(0), 0)];
+        visited[0] = true;
+        on_stack[0] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let ss = &succs[b.0 as usize];
+            if *i < ss.len() {
+                let s = ss[*i];
+                *i += 1;
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    on_stack[s.0 as usize] = true;
+                    stack.push((s, 0));
+                } else if on_stack[s.0 as usize] {
+                    back_edges.push((b, s));
+                }
+            } else {
+                on_stack[b.0 as usize] = false;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockRef> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+
+        // Loop depth: for each back edge (latch → header), the natural
+        // loop body is found by walking predecessors from the latch until
+        // the header; every body block gets +1 depth.
+        let mut loop_depth = vec![0u32; n];
+        for (latch, header) in back_edges {
+            let mut body = vec![false; n];
+            body[header.0 as usize] = true;
+            let mut work = vec![latch];
+            while let Some(b) = work.pop() {
+                if body[b.0 as usize] {
+                    continue;
+                }
+                body[b.0 as usize] = true;
+                for &p in &preds[b.0 as usize] {
+                    if !body[p.0 as usize] {
+                        work.push(p);
+                    }
+                }
+            }
+            for (i, &in_body) in body.iter().enumerate() {
+                if in_body {
+                    loop_depth[i] += 1;
+                }
+            }
+        }
+
+        CfgInfo {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+            loop_depth,
+        }
+    }
+
+    /// True when `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockRef) -> bool {
+        self.rpo_index[b.0 as usize] != usize::MAX
+    }
+
+    /// Static execution-frequency estimate: `10^loop_depth`, the classic
+    /// compile-time heuristic used when no profile is available.
+    pub fn static_freq(&self, b: BlockRef) -> u64 {
+        10u64.saturating_pow(self.loop_depth[b.0 as usize].min(9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FunctionBuilder;
+    use crate::inst::{Cond, Terminator};
+
+    /// entry → loop_head ⇄ loop_body, loop_head → exit
+    fn loopy_function() -> Function {
+        let mut b = FunctionBuilder::new("loopy", 1, None);
+        let entry = b.entry();
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.set_term(entry, Terminator::Jump(head));
+        let i = b.param(0);
+        let zero = b.iconst(head, 0);
+        let p = b.icmp(head, Cond::Gt, i, zero);
+        b.set_term(
+            head,
+            Terminator::CondBr {
+                pred: p,
+                then_bb: body,
+                else_bb: exit,
+            },
+        );
+        b.set_term(body, Terminator::Jump(head));
+        b.set_term(exit, Terminator::Halt);
+        b.finish()
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let f = loopy_function();
+        let cfg = CfgInfo::compute(&f);
+        assert_eq!(cfg.succs[0], vec![BlockRef(1)]);
+        assert_eq!(cfg.succs[1], vec![BlockRef(2), BlockRef(3)]);
+        let mut head_preds = cfg.preds[1].clone();
+        head_preds.sort();
+        assert_eq!(head_preds, vec![BlockRef(0), BlockRef(2)]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = loopy_function();
+        let cfg = CfgInfo::compute(&f);
+        assert_eq!(cfg.rpo[0], BlockRef(0));
+        assert_eq!(cfg.rpo.len(), 4);
+        for b in f.block_refs() {
+            assert!(cfg.is_reachable(b));
+        }
+    }
+
+    #[test]
+    fn loop_depth_detected() {
+        let f = loopy_function();
+        let cfg = CfgInfo::compute(&f);
+        assert_eq!(cfg.loop_depth[0], 0, "entry not in loop");
+        assert_eq!(cfg.loop_depth[1], 1, "header in loop");
+        assert_eq!(cfg.loop_depth[2], 1, "body in loop");
+        assert_eq!(cfg.loop_depth[3], 0, "exit not in loop");
+        assert_eq!(cfg.static_freq(BlockRef(2)), 10);
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded_from_rpo() {
+        let mut b = FunctionBuilder::new("dead", 0, None);
+        let entry = b.entry();
+        b.set_term(entry, Terminator::Halt);
+        let orphan = b.new_block();
+        b.set_term(orphan, Terminator::Halt);
+        let f = b.finish();
+        let cfg = CfgInfo::compute(&f);
+        assert_eq!(cfg.rpo.len(), 1);
+        assert!(!cfg.is_reachable(orphan));
+    }
+
+    #[test]
+    fn nested_loops_accumulate_depth() {
+        // entry → outer ⇄ (inner ⇄ inner_body) structure.
+        let mut b = FunctionBuilder::new("nest", 1, None);
+        let entry = b.entry();
+        let outer = b.new_block();
+        let inner = b.new_block();
+        let exit = b.new_block();
+        b.set_term(entry, Terminator::Jump(outer));
+        let i = b.param(0);
+        let z = b.iconst(outer, 0);
+        let p1 = b.icmp(outer, Cond::Gt, i, z);
+        b.set_term(
+            outer,
+            Terminator::CondBr {
+                pred: p1,
+                then_bb: inner,
+                else_bb: exit,
+            },
+        );
+        let z2 = b.iconst(inner, 1);
+        let p2 = b.icmp(inner, Cond::Gt, i, z2);
+        // inner loops on itself, eventually returns to outer.
+        b.set_term(
+            inner,
+            Terminator::CondBr {
+                pred: p2,
+                then_bb: inner,
+                else_bb: outer,
+            },
+        );
+        b.set_term(exit, Terminator::Halt);
+        let f = b.finish();
+        let cfg = CfgInfo::compute(&f);
+        assert_eq!(cfg.loop_depth[2], 2, "inner block nested twice");
+        assert_eq!(cfg.loop_depth[1], 1);
+    }
+}

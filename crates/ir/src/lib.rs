@@ -1,0 +1,46 @@
+//! # tinker-ir — the LEGO compiler's intermediate representation
+//!
+//! A small, conventional three-address IR with virtual registers, basic
+//! blocks and an explicit CFG. The Tink frontend (in the `lego` crate)
+//! lowers its AST to this IR; the optimizer and the TEPIC backend consume
+//! it.
+//!
+//! Design points:
+//!
+//! * virtual registers are typed by [`RegClass`] (integer/pointer, float,
+//!   predicate) mirroring TEPIC's three register files;
+//! * memory operations carry a byte offset so address arithmetic can be
+//!   folded; the backend materializes what TEPIC's offset-less loads need;
+//! * every block ends in exactly one [`Terminator`]; critical edges are
+//!   allowed (the backend splits nothing — conditional branches lower to a
+//!   compare + predicated branch + fall-through).
+//!
+//! # Example
+//!
+//! ```
+//! use tinker_ir::{Module, FunctionBuilder, RegClass, IBinOp, Terminator, Width};
+//!
+//! let mut m = Module::new();
+//! let mut b = FunctionBuilder::new("add1", 1, Some(RegClass::Int));
+//! let entry = b.entry();
+//! let x = b.param(0);
+//! let one = b.iconst(entry, 1);
+//! let sum = b.ibin(entry, IBinOp::Add, x, one);
+//! b.set_term(entry, Terminator::Ret(Some(sum)));
+//! let f = b.finish();
+//! m.add_func(f);
+//! assert!(m.verify().is_ok());
+//! ```
+
+pub mod cfg;
+pub mod func;
+pub mod inst;
+pub mod pretty;
+pub mod verify;
+
+pub use cfg::CfgInfo;
+pub use func::{FuncId, Function, FunctionBuilder, Global, GlobalId, Module};
+pub use inst::{
+    BlockRef, Cond, FBinOp, IBinOp, IUnOp, Inst, RegClass, SysCode, Terminator, VReg, Width,
+};
+pub use verify::VerifyError;

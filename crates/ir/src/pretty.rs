@@ -1,0 +1,116 @@
+//! Text rendering of IR modules for debugging and golden tests.
+
+use crate::func::{Function, Module};
+use crate::inst::{Inst, Terminator};
+
+/// Renders a whole module.
+pub fn module_to_string(m: &Module) -> String {
+    let mut out = String::new();
+    for g in m.globals() {
+        out.push_str(&format!("global {} : {} bytes\n", g.name, g.size));
+    }
+    for f in m.funcs() {
+        out.push_str(&function_to_string(f));
+    }
+    out
+}
+
+/// Renders one function.
+pub fn function_to_string(f: &Function) -> String {
+    let mut out = format!("\nfn {}({} params)", f.name, f.num_params);
+    if let Some(r) = f.ret {
+        out.push_str(&format!(" -> {r:?}"));
+    }
+    out.push_str(" {\n");
+    for (bi, block) in f.blocks.iter().enumerate() {
+        out.push_str(&format!("bb{bi}:\n"));
+        for inst in &block.insts {
+            out.push_str(&format!("    {}\n", inst_to_string(inst)));
+        }
+        out.push_str(&format!("    {}\n", term_to_string(&block.term)));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn inst_to_string(i: &Inst) -> String {
+    match i {
+        Inst::IConst { dst, value } => format!("{dst} = iconst {value}"),
+        Inst::FConst { dst, value } => format!("{dst} = fconst {value}"),
+        Inst::GlobalAddr { dst, global } => format!("{dst} = globaladdr @{}", global.0),
+        Inst::IBin { op, dst, a, b } => format!("{dst} = {op:?} {a}, {b}").to_lowercase(),
+        Inst::IUn { op, dst, a } => format!("{dst} = {op:?} {a}").to_lowercase(),
+        Inst::FBin { op, dst, a, b } => format!("{dst} = f{op:?} {a}, {b}").to_lowercase(),
+        Inst::FNeg { dst, a } => format!("{dst} = fneg {a}"),
+        Inst::FAbs { dst, a } => format!("{dst} = fabs {a}"),
+        Inst::FMov { dst, a } => format!("{dst} = fmov {a}"),
+        Inst::ICmp { cond, dst, a, b } => format!("{dst} = icmp.{cond:?} {a}, {b}").to_lowercase(),
+        Inst::FCmp { cond, dst, a, b } => format!("{dst} = fcmp.{cond:?} {a}, {b}").to_lowercase(),
+        Inst::CvtIF { dst, a } => format!("{dst} = cvt.if {a}"),
+        Inst::CvtFI { dst, a } => format!("{dst} = cvt.fi {a}"),
+        Inst::Load {
+            width,
+            dst,
+            base,
+            offset,
+        } => format!("{dst} = load.{width:?} [{base}+{offset}]").to_lowercase(),
+        Inst::Store {
+            width,
+            base,
+            offset,
+            value,
+        } => format!("store.{width:?} [{base}+{offset}], {value}").to_lowercase(),
+        Inst::FLoad { dst, base, offset } => format!("{dst} = fload [{base}+{offset}]"),
+        Inst::FStore {
+            base,
+            offset,
+            value,
+        } => format!("fstore [{base}+{offset}], {value}"),
+        Inst::Call { func, args, ret } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            match ret {
+                Some(r) => format!("{r} = call @{}({})", func.0, args.join(", ")),
+                None => format!("call @{}({})", func.0, args.join(", ")),
+            }
+        }
+        Inst::Sys { code, arg } => format!("sys.{code:?} {arg}"),
+    }
+}
+
+fn term_to_string(t: &Terminator) -> String {
+    match t {
+        Terminator::Jump(b) => format!("jump {b}"),
+        Terminator::CondBr {
+            pred,
+            then_bb,
+            else_bb,
+        } => {
+            format!("condbr {pred}, {then_bb}, {else_bb}")
+        }
+        Terminator::Ret(Some(v)) => format!("ret {v}"),
+        Terminator::Ret(None) => "ret".to_string(),
+        Terminator::Halt => "halt".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::func::{FunctionBuilder, Module};
+    use crate::inst::{IBinOp, RegClass, Terminator};
+
+    #[test]
+    fn renders_module() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("f", 1, Some(RegClass::Int));
+        let entry = b.entry();
+        let one = b.iconst(entry, 1);
+        let r = b.ibin(entry, IBinOp::Add, b.param(0), one);
+        b.set_term(entry, Terminator::Ret(Some(r)));
+        m.add_func(b.finish());
+        let s = m.to_string();
+        assert!(s.contains("fn f(1 params) -> Int"));
+        assert!(s.contains("v1 = iconst 1"));
+        assert!(s.contains("v2 = add v0, v1"));
+        assert!(s.contains("ret v2"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Module verification: register-class consistency, operand range checks,
+//! terminator target validity and call signature agreement.
+
+use crate::func::{FuncId, Function, Module};
+use crate::inst::{BlockRef, Inst, RegClass, Terminator, VReg};
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A vreg index exceeds the function's register table.
+    UnknownVReg { func: String, vreg: VReg },
+    /// An operand has the wrong register class.
+    ClassMismatch {
+        func: String,
+        vreg: VReg,
+        expected: RegClass,
+        found: RegClass,
+    },
+    /// A terminator names a nonexistent block.
+    BadBlockRef { func: String, block: BlockRef },
+    /// A call names a nonexistent function.
+    BadCallee { func: String, callee: FuncId },
+    /// A call passes the wrong number of arguments.
+    ArityMismatch {
+        func: String,
+        callee: String,
+        expected: u32,
+        found: usize,
+    },
+    /// A call expects a return value from a void function (or vice versa).
+    ReturnMismatch { func: String, callee: String },
+    /// A `ret` disagrees with the function's declared return class.
+    BadReturn { func: String },
+    /// A global reference is out of range.
+    BadGlobal { func: String },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::UnknownVReg { func, vreg } => {
+                write!(f, "{func}: unknown vreg {vreg}")
+            }
+            VerifyError::ClassMismatch {
+                func,
+                vreg,
+                expected,
+                found,
+            } => {
+                write!(f, "{func}: {vreg} is {found:?}, expected {expected:?}")
+            }
+            VerifyError::BadBlockRef { func, block } => {
+                write!(f, "{func}: bad block reference {block}")
+            }
+            VerifyError::BadCallee { func, callee } => {
+                write!(f, "{func}: call to unknown function #{}", callee.0)
+            }
+            VerifyError::ArityMismatch {
+                func,
+                callee,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "{func}: call to {callee} passes {found} args, expected {expected}"
+                )
+            }
+            VerifyError::ReturnMismatch { func, callee } => {
+                write!(f, "{func}: call to {callee} disagrees about return value")
+            }
+            VerifyError::BadReturn { func } => {
+                write!(f, "{func}: return disagrees with declared return class")
+            }
+            VerifyError::BadGlobal { func } => write!(f, "{func}: bad global reference"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies every function in the module.
+///
+/// # Errors
+///
+/// Returns the first problem found.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for f in m.funcs() {
+        verify_function(m, f)?;
+    }
+    Ok(())
+}
+
+fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
+    let check_vreg = |v: VReg| -> Result<RegClass, VerifyError> {
+        f.vreg_classes
+            .get(v.0 as usize)
+            .copied()
+            .ok_or(VerifyError::UnknownVReg {
+                func: f.name.clone(),
+                vreg: v,
+            })
+    };
+    let expect = |v: VReg, expected: RegClass| -> Result<(), VerifyError> {
+        let found = check_vreg(v)?;
+        if found != expected {
+            return Err(VerifyError::ClassMismatch {
+                func: f.name.clone(),
+                vreg: v,
+                expected,
+                found,
+            });
+        }
+        Ok(())
+    };
+    let check_block = |b: BlockRef| -> Result<(), VerifyError> {
+        if (b.0 as usize) < f.blocks.len() {
+            Ok(())
+        } else {
+            Err(VerifyError::BadBlockRef {
+                func: f.name.clone(),
+                block: b,
+            })
+        }
+    };
+
+    use RegClass::{Float, Int, Pred};
+    for block in &f.blocks {
+        for inst in &block.insts {
+            match inst {
+                Inst::IConst { dst, .. } | Inst::GlobalAddr { dst, .. } => expect(*dst, Int)?,
+                Inst::FConst { dst, .. } => expect(*dst, Float)?,
+                Inst::IBin { dst, a, b, .. } => {
+                    expect(*dst, Int)?;
+                    expect(*a, Int)?;
+                    expect(*b, Int)?;
+                }
+                Inst::IUn { dst, a, .. } => {
+                    expect(*dst, Int)?;
+                    expect(*a, Int)?;
+                }
+                Inst::FBin { dst, a, b, .. } => {
+                    expect(*dst, Float)?;
+                    expect(*a, Float)?;
+                    expect(*b, Float)?;
+                }
+                Inst::FNeg { dst, a } | Inst::FAbs { dst, a } | Inst::FMov { dst, a } => {
+                    expect(*dst, Float)?;
+                    expect(*a, Float)?;
+                }
+                Inst::ICmp { dst, a, b, .. } => {
+                    expect(*dst, Pred)?;
+                    expect(*a, Int)?;
+                    expect(*b, Int)?;
+                }
+                Inst::FCmp { dst, a, b, .. } => {
+                    expect(*dst, Pred)?;
+                    expect(*a, Float)?;
+                    expect(*b, Float)?;
+                }
+                Inst::CvtIF { dst, a } => {
+                    expect(*dst, Float)?;
+                    expect(*a, Int)?;
+                }
+                Inst::CvtFI { dst, a } => {
+                    expect(*dst, Int)?;
+                    expect(*a, Float)?;
+                }
+                Inst::Load { dst, base, .. } => {
+                    expect(*dst, Int)?;
+                    expect(*base, Int)?;
+                }
+                Inst::Store { base, value, .. } => {
+                    expect(*base, Int)?;
+                    expect(*value, Int)?;
+                }
+                Inst::FLoad { dst, base, .. } => {
+                    expect(*dst, Float)?;
+                    expect(*base, Int)?;
+                }
+                Inst::FStore { base, value, .. } => {
+                    expect(*base, Int)?;
+                    expect(*value, Float)?;
+                }
+                Inst::Call {
+                    func: callee,
+                    args,
+                    ret,
+                } => {
+                    let cf = m
+                        .funcs()
+                        .get(callee.0 as usize)
+                        .ok_or(VerifyError::BadCallee {
+                            func: f.name.clone(),
+                            callee: *callee,
+                        })?;
+                    if args.len() != cf.num_params as usize {
+                        return Err(VerifyError::ArityMismatch {
+                            func: f.name.clone(),
+                            callee: cf.name.clone(),
+                            expected: cf.num_params,
+                            found: args.len(),
+                        });
+                    }
+                    for (i, a) in args.iter().enumerate() {
+                        expect(*a, cf.vreg_classes[i])?;
+                    }
+                    match (ret, cf.ret) {
+                        (Some(r), Some(c)) => expect(*r, c)?,
+                        (None, _) => {}
+                        (Some(_), None) => {
+                            return Err(VerifyError::ReturnMismatch {
+                                func: f.name.clone(),
+                                callee: cf.name.clone(),
+                            })
+                        }
+                    }
+                }
+                Inst::Sys { arg, .. } => expect(*arg, Int)?,
+            }
+        }
+        match &block.term {
+            Terminator::Jump(t) => check_block(*t)?,
+            Terminator::CondBr {
+                pred,
+                then_bb,
+                else_bb,
+            } => {
+                expect(*pred, Pred)?;
+                check_block(*then_bb)?;
+                check_block(*else_bb)?;
+            }
+            Terminator::Ret(v) => match (v, f.ret) {
+                (Some(v), Some(c)) => expect(*v, c)?,
+                (None, None) => {}
+                _ => {
+                    return Err(VerifyError::BadReturn {
+                        func: f.name.clone(),
+                    })
+                }
+            },
+            Terminator::Halt => {}
+        }
+    }
+    // Global references in range.
+    for block in &f.blocks {
+        for inst in &block.insts {
+            if let Inst::GlobalAddr { global, .. } = inst {
+                if (global.0 as usize) >= m.globals().len() {
+                    return Err(VerifyError::BadGlobal {
+                        func: f.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{FunctionBuilder, Global, Module};
+    use crate::inst::{Cond, IBinOp};
+
+    #[test]
+    fn catches_class_mismatch() {
+        let mut b = FunctionBuilder::new("bad", 0, None);
+        let entry = b.entry();
+        let i = b.iconst(entry, 1);
+        let fl = b.fconst(entry, 1.0);
+        // Hand-build a mixed-class add.
+        b.push(
+            entry,
+            Inst::IBin {
+                op: IBinOp::Add,
+                dst: i,
+                a: i,
+                b: fl,
+            },
+        );
+        b.set_term(entry, Terminator::Halt);
+        let mut m = Module::new();
+        m.add_func(b.finish());
+        assert!(matches!(m.verify(), Err(VerifyError::ClassMismatch { .. })));
+    }
+
+    #[test]
+    fn catches_bad_block_ref() {
+        let mut b = FunctionBuilder::new("bad", 0, None);
+        let entry = b.entry();
+        b.set_term(entry, Terminator::Jump(BlockRef(9)));
+        let mut m = Module::new();
+        m.add_func(b.finish());
+        assert!(matches!(m.verify(), Err(VerifyError::BadBlockRef { .. })));
+    }
+
+    #[test]
+    fn catches_arity_mismatch() {
+        let mut m = Module::new();
+        let callee = m.add_func(FunctionBuilder::new("callee", 2, None).finish());
+        let mut b = FunctionBuilder::new("caller", 0, None);
+        let entry = b.entry();
+        let x = b.iconst(entry, 1);
+        b.push(
+            entry,
+            Inst::Call {
+                func: callee,
+                args: vec![x],
+                ret: None,
+            },
+        );
+        b.set_term(entry, Terminator::Halt);
+        m.add_func(b.finish());
+        assert!(matches!(m.verify(), Err(VerifyError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn catches_return_mismatch() {
+        let mut b = FunctionBuilder::new("f", 0, Some(RegClass::Int));
+        let entry = b.entry();
+        b.set_term(entry, Terminator::Ret(None));
+        let mut m = Module::new();
+        m.add_func(b.finish());
+        assert!(matches!(m.verify(), Err(VerifyError::BadReturn { .. })));
+    }
+
+    #[test]
+    fn catches_bad_global() {
+        let mut b = FunctionBuilder::new("g", 0, None);
+        let entry = b.entry();
+        let _ = b.global_addr(entry, crate::func::GlobalId(5));
+        b.set_term(entry, Terminator::Halt);
+        let mut m = Module::new();
+        m.add_func(b.finish());
+        assert!(matches!(m.verify(), Err(VerifyError::BadGlobal { .. })));
+    }
+
+    #[test]
+    fn accepts_well_formed_module() {
+        let mut m = Module::new();
+        let g = m.add_global(Global {
+            name: "buf".into(),
+            size: 64,
+            init: vec![],
+        });
+        let mut b = FunctionBuilder::new("ok", 1, Some(RegClass::Int));
+        let entry = b.entry();
+        let base = b.global_addr(entry, g);
+        let x = b.load(entry, crate::inst::Width::Word, base, 4);
+        let p = b.icmp(entry, Cond::Ne, x, b.param(0));
+        let t = b.new_block();
+        let e = b.new_block();
+        b.set_term(
+            entry,
+            Terminator::CondBr {
+                pred: p,
+                then_bb: t,
+                else_bb: e,
+            },
+        );
+        b.set_term(t, Terminator::Ret(Some(x)));
+        let z = b.iconst(e, 0);
+        b.set_term(e, Terminator::Ret(Some(z)));
+        m.add_func(b.finish());
+        m.verify().expect("module verifies");
+    }
+}

@@ -1,0 +1,167 @@
+//! Disassembler for TEPIC operations and whole program listings.
+
+use crate::image::Program;
+use crate::op::{OpKind, Operation};
+use crate::regs::Pr;
+
+/// Renders one operation as assembly-like text, e.g.
+/// `"add r3, r1, r2"` or `"(p4) br .b17 ;;"` — the trailing `;;` marks a
+/// tail bit (end of MultiOp), IA-64 style.
+pub fn disassemble(op: &Operation) -> String {
+    let mut s = String::new();
+    if op.pred != Pr::P0 {
+        s.push_str(&format!("({}) ", op.pred));
+    }
+    if op.spec {
+        s.push_str("spec ");
+    }
+    let body = match op.kind {
+        OpKind::IntAlu {
+            op,
+            src1,
+            src2,
+            dest,
+        } => {
+            format!("{} {dest}, {src1}, {src2}", op.mnemonic())
+        }
+        OpKind::IntCmp {
+            cond,
+            src1,
+            src2,
+            dest,
+        } => {
+            format!("cmpp.{} {dest}, {src1}, {src2}", cond.mnemonic())
+        }
+        OpKind::FloatCmp {
+            cond,
+            src1,
+            src2,
+            dest,
+        } => {
+            format!("fcmpp.{} {dest}, {src1}, {src2}", cond.mnemonic())
+        }
+        OpKind::LoadImm {
+            high: false,
+            imm,
+            dest,
+        } => format!("ldi {dest}, {imm}"),
+        OpKind::LoadImm {
+            high: true,
+            imm,
+            dest,
+        } => format!("ldih {dest}, {imm}"),
+        OpKind::Float {
+            op,
+            src1,
+            src2,
+            dest,
+        } => {
+            format!("{} {dest}, {src1}, {src2}", op.mnemonic())
+        }
+        OpKind::CvtIf { src, dest } => format!("cvtif {dest}, {src}"),
+        OpKind::CvtFi { src, dest } => format!("cvtfi {dest}, {src}"),
+        OpKind::Load {
+            width,
+            base,
+            lat,
+            dest,
+        } => {
+            format!("ld.{} {dest}, [{base}] lat={lat}", width_suffix(width))
+        }
+        OpKind::Store { width, base, value } => {
+            format!("st.{} [{base}], {value}", width_suffix(width))
+        }
+        OpKind::FLoad { base, lat, dest } => format!("fld {dest}, [{base}] lat={lat}"),
+        OpKind::FStore { base, value } => format!("fst [{base}], {value}"),
+        OpKind::Branch { target } => format!("br .b{target}"),
+        OpKind::Call { target, link } => format!("brl .b{target}, link={link}"),
+        OpKind::Ret { src } => format!("bret {src}"),
+        OpKind::Halt => "halt".to_string(),
+        OpKind::Sys { code, arg } => format!("sys {code:?}, {arg}"),
+    };
+    s.push_str(&body);
+    if op.tail {
+        s.push_str(" ;;");
+    }
+    s
+}
+
+fn width_suffix(w: crate::op::MemWidth) -> &'static str {
+    match w {
+        crate::op::MemWidth::Byte => "b",
+        crate::op::MemWidth::Half => "h",
+        crate::op::MemWidth::Word => "w",
+        crate::op::MemWidth::Double => "x",
+    }
+}
+
+/// Renders a full program listing with function and block labels.
+pub fn listing(p: &Program) -> String {
+    let mut out = String::new();
+    let mut current_func = usize::MAX;
+    for (bi, block) in p.blocks().iter().enumerate() {
+        if block.func != current_func {
+            current_func = block.func;
+            out.push_str(&format!("\n{}:\n", p.funcs()[current_func].name));
+        }
+        out.push_str(&format!(".b{bi}:"));
+        if bi == p.entry() {
+            out.push_str("    # entry");
+        }
+        out.push('\n');
+        for op in p.block_ops(bi) {
+            out.push_str(&format!("    {}\n", disassemble(op)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Cond, IntOpcode};
+    use crate::regs::{Fpr, Gpr};
+
+    #[test]
+    fn formats_common_ops() {
+        let op = Operation {
+            tail: true,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::IntAlu {
+                op: IntOpcode::Add,
+                src1: Gpr::new(1),
+                src2: Gpr::new(2),
+                dest: Gpr::new(3),
+            },
+        };
+        assert_eq!(disassemble(&op), "add r3, r1, r2 ;;");
+    }
+
+    #[test]
+    fn predicated_and_speculative_prefixes() {
+        let op = Operation {
+            tail: false,
+            spec: true,
+            pred: Pr::new(4),
+            kind: OpKind::Branch { target: 17 },
+        };
+        assert_eq!(disassemble(&op), "(p4) spec br .b17");
+    }
+
+    #[test]
+    fn compare_condition_suffix() {
+        let op = Operation {
+            tail: false,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::FloatCmp {
+                cond: Cond::Le,
+                src1: Fpr::new(1),
+                src2: Fpr::new(2),
+                dest: Pr::new(3),
+            },
+        };
+        assert_eq!(disassemble(&op), "fcmpp.le p3, f1, f2");
+    }
+}

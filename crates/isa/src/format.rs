@@ -1,0 +1,329 @@
+//! Bit-level field layouts of the seven TEPIC operation formats
+//! (paper Appendix, Table 2).
+//!
+//! The layouts drive three consumers:
+//!
+//! * the Table 2 printer (`render_table2`) used by the experiment harness;
+//! * the *stream-based* Huffman alphabets, which split each 40-bit word at
+//!   fixed field boundaries (paper Figure 3);
+//! * the *tailored* encoder, which shrinks each field class to the minimum
+//!   width the program needs (paper §2.3).
+
+use crate::op::{OpKind, Operation};
+use std::fmt;
+
+/// The seven operation formats of TEPIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpFormat {
+    /// Integer ALU operation.
+    IntAlu,
+    /// Integer (or FP) compare-to-predicate operation.
+    IntCmp,
+    /// Integer load-immediate operation.
+    LoadImm,
+    /// Floating-point operation.
+    Float,
+    /// Load operation.
+    Load,
+    /// Store operation.
+    Store,
+    /// Branch operation.
+    Branch,
+}
+
+impl OpFormat {
+    /// All formats in Table 2 order.
+    pub const ALL: [OpFormat; 7] = [
+        OpFormat::IntAlu,
+        OpFormat::IntCmp,
+        OpFormat::LoadImm,
+        OpFormat::Float,
+        OpFormat::Load,
+        OpFormat::Store,
+        OpFormat::Branch,
+    ];
+
+    /// The format used to encode `op`.
+    pub fn of(op: &Operation) -> OpFormat {
+        match op.kind {
+            OpKind::IntAlu { .. } | OpKind::CvtIf { .. } | OpKind::CvtFi { .. } => OpFormat::IntAlu,
+            OpKind::IntCmp { .. } | OpKind::FloatCmp { .. } => OpFormat::IntCmp,
+            OpKind::LoadImm { .. } => OpFormat::LoadImm,
+            OpKind::Float { .. } => OpFormat::Float,
+            OpKind::Load { .. } | OpKind::FLoad { .. } => OpFormat::Load,
+            OpKind::Store { .. } | OpKind::FStore { .. } => OpFormat::Store,
+            OpKind::Branch { .. }
+            | OpKind::Call { .. }
+            | OpKind::Ret { .. }
+            | OpKind::Halt
+            | OpKind::Sys { .. } => OpFormat::Branch,
+        }
+    }
+
+    /// Human-readable name matching the paper's Table 2 captions.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpFormat::IntAlu => "Integer ALU Operation",
+            OpFormat::IntCmp => "Integer Compare-to-Predicate Operation",
+            OpFormat::LoadImm => "Integer Load Immediate Operation",
+            OpFormat::Float => "Floating Point Operation",
+            OpFormat::Load => "Load Operation",
+            OpFormat::Store => "Store Operation",
+            OpFormat::Branch => "Branch Operation",
+        }
+    }
+
+    /// The ordered field layout of this format. Offsets are LSB-first and
+    /// the widths always sum to 40.
+    pub fn fields(self) -> &'static [FieldSpec] {
+        match self {
+            OpFormat::IntAlu => &INT_ALU_FIELDS,
+            OpFormat::IntCmp => &INT_CMP_FIELDS,
+            OpFormat::LoadImm => &LOAD_IMM_FIELDS,
+            OpFormat::Float => &FLOAT_FIELDS,
+            OpFormat::Load => &LOAD_FIELDS,
+            OpFormat::Store => &STORE_FIELDS,
+            OpFormat::Branch => &BRANCH_FIELDS,
+        }
+    }
+}
+
+impl fmt::Display for OpFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Semantic class of a field; the tailored encoder keys its width
+/// minimization off this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FieldClass {
+    /// Tail bit (zero-NOP MOP delimiter) — never shrinkable.
+    Tail,
+    /// Speculative bit.
+    Spec,
+    /// 2-bit operation type.
+    OpType,
+    /// 5-bit opcode — shrinkable to ⌈log₂(#opcodes used)⌉.
+    Opcode,
+    /// GPR source/destination index — shrinkable to ⌈log₂(#GPRs used)⌉.
+    GprIdx,
+    /// FPR index.
+    FprIdx,
+    /// Predicate register index.
+    PrIdx,
+    /// Comparison condition (`D1`).
+    Cond,
+    /// Memory access width (`BHWX`).
+    MemWidth,
+    /// Load latency hint.
+    Lat,
+    /// Immediate value — shrinkable to the widest immediate used.
+    Imm,
+    /// Branch target (block index) — shrinkable to ⌈log₂(#blocks)⌉.
+    Target,
+    /// Counter / link / syscall-id field of the branch format.
+    Counter,
+    /// L1 / S-D / t-s-s-L-U miscellaneous single-purpose bits.
+    Misc,
+    /// Reserved — dropped entirely by the tailored encoder.
+    Reserved,
+}
+
+/// One field of an operation format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldSpec {
+    /// Field name as printed in Table 2.
+    pub name: &'static str,
+    /// Bit offset (LSB-first) within the 40-bit word.
+    pub offset: u32,
+    /// Width in bits.
+    pub width: u32,
+    /// Semantic class.
+    pub class: FieldClass,
+}
+
+const fn fs(name: &'static str, offset: u32, width: u32, class: FieldClass) -> FieldSpec {
+    FieldSpec {
+        name,
+        offset,
+        width,
+        class,
+    }
+}
+
+use FieldClass as C;
+
+static INT_ALU_FIELDS: [FieldSpec; 10] = [
+    fs("T", 0, 1, C::Tail),
+    fs("S", 1, 1, C::Spec),
+    fs("OPT", 2, 2, C::OpType),
+    fs("OPCODE", 4, 5, C::Opcode),
+    fs("Src1", 9, 5, C::GprIdx),
+    fs("Src2", 14, 5, C::GprIdx),
+    fs("BHWX", 19, 2, C::MemWidth),
+    fs("Reserved", 21, 8, C::Reserved),
+    fs("Dest", 29, 5, C::GprIdx),
+    // L1 and PREDICATE are merged into the trailing guard fields below.
+    fs("L1+PREDICATE", 34, 6, C::PrIdx),
+];
+
+static INT_CMP_FIELDS: [FieldSpec; 11] = [
+    fs("T", 0, 1, C::Tail),
+    fs("S", 1, 1, C::Spec),
+    fs("OPT", 2, 2, C::OpType),
+    fs("OPCODE", 4, 5, C::Opcode),
+    fs("Src1", 9, 5, C::GprIdx),
+    fs("Src2", 14, 5, C::GprIdx),
+    fs("BHWX", 19, 2, C::MemWidth),
+    fs("D1", 21, 3, C::Cond),
+    fs("Reserved", 24, 5, C::Reserved),
+    fs("Dest", 29, 5, C::PrIdx),
+    fs("L1+PREDICATE", 34, 6, C::PrIdx),
+];
+
+static LOAD_IMM_FIELDS: [FieldSpec; 7] = [
+    fs("T", 0, 1, C::Tail),
+    fs("S", 1, 1, C::Spec),
+    fs("OPT", 2, 2, C::OpType),
+    fs("OPCODE", 4, 5, C::Opcode),
+    fs("Src1(imm20)", 9, 20, C::Imm),
+    fs("Dest", 29, 5, C::GprIdx),
+    fs("L1+PREDICATE", 34, 6, C::PrIdx),
+];
+
+static FLOAT_FIELDS: [FieldSpec; 10] = [
+    fs("T", 0, 1, C::Tail),
+    fs("S", 1, 1, C::Spec),
+    fs("OPT", 2, 2, C::OpType),
+    fs("OPCODE", 4, 5, C::Opcode),
+    fs("Src1", 9, 5, C::FprIdx),
+    fs("Src2", 14, 5, C::FprIdx),
+    fs("S/D", 19, 1, C::Misc),
+    fs("Reserved", 20, 6, C::Reserved),
+    fs("tssL/U", 26, 3, C::Misc),
+    fs("Dest+L1+PREDICATE", 29, 11, C::FprIdx),
+];
+
+static LOAD_FIELDS: [FieldSpec; 12] = [
+    fs("T", 0, 1, C::Tail),
+    fs("S", 1, 1, C::Spec),
+    fs("OPT", 2, 2, C::OpType),
+    fs("OPCODE", 4, 5, C::Opcode),
+    fs("Src1", 9, 5, C::GprIdx),
+    fs("BHWX", 14, 2, C::MemWidth),
+    fs("SCS", 16, 2, C::Misc),
+    fs("Res", 18, 1, C::Reserved),
+    fs("TCS", 19, 2, C::Misc),
+    fs("Reserved+Lat", 21, 8, C::Lat),
+    fs("Dest", 29, 5, C::GprIdx),
+    fs("Rsv+PREDICATE", 34, 6, C::PrIdx),
+];
+
+static STORE_FIELDS: [FieldSpec; 10] = [
+    fs("T", 0, 1, C::Tail),
+    fs("S", 1, 1, C::Spec),
+    fs("OPT", 2, 2, C::OpType),
+    fs("OPCODE", 4, 5, C::Opcode),
+    fs("Src1", 9, 5, C::GprIdx),
+    fs("Src2", 14, 5, C::GprIdx),
+    fs("BHWX", 19, 2, C::MemWidth),
+    fs("TCS", 21, 2, C::Misc),
+    fs("Reserved", 23, 11, C::Reserved),
+    fs("L1+PREDICATE", 34, 6, C::PrIdx),
+];
+
+static BRANCH_FIELDS: [FieldSpec; 8] = [
+    fs("T", 0, 1, C::Tail),
+    fs("S", 1, 1, C::Spec),
+    fs("OPT", 2, 2, C::OpType),
+    fs("OPCODE", 4, 5, C::Opcode),
+    fs("Src1", 9, 5, C::GprIdx),
+    fs("Counter", 14, 5, C::Counter),
+    fs("Target", 19, 16, C::Target),
+    fs("PREDICATE", 35, 5, C::PrIdx),
+];
+
+/// Renders the paper's Table 2 ("Summary of the baseline TEPIC ISA") as
+/// fixed-width text, one row of field names and widths per format.
+pub fn render_table2() -> String {
+    let mut out = String::new();
+    out.push_str("Table 2. Summary of the baseline TEPIC ISA (40-bit operations)\n");
+    for fmt in OpFormat::ALL {
+        out.push_str(&format!("\n{}\n", fmt.name()));
+        let widths: Vec<String> = fmt.fields().iter().map(|f| f.width.to_string()).collect();
+        let names: Vec<&str> = fmt.fields().iter().map(|f| f.name).collect();
+        for (w, n) in widths.iter().zip(&names) {
+            out.push_str(&format!("  {:>2}  {}\n", w, n));
+        }
+        let total: u32 = fmt.fields().iter().map(|f| f.width).sum();
+        out.push_str(&format!("  --  total {total} bits\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{IntOpcode, OpKind};
+    use crate::regs::{Gpr, Pr};
+
+    #[test]
+    fn every_format_covers_exactly_40_bits() {
+        for fmt in OpFormat::ALL {
+            let fields = fmt.fields();
+            let total: u32 = fields.iter().map(|f| f.width).sum();
+            assert_eq!(total, 40, "{fmt:?} fields sum to {total}, expected 40");
+            // Fields must be contiguous and non-overlapping, in order.
+            let mut cursor = 0;
+            for f in fields {
+                assert_eq!(f.offset, cursor, "{fmt:?}/{} not contiguous", f.name);
+                cursor += f.width;
+            }
+            assert_eq!(cursor, 40);
+        }
+    }
+
+    #[test]
+    fn format_of_matches_encoding_dispatch() {
+        let op = Operation {
+            tail: true,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::IntAlu {
+                op: IntOpcode::Add,
+                src1: Gpr::ZERO,
+                src2: Gpr::ZERO,
+                dest: Gpr::ZERO,
+            },
+        };
+        assert_eq!(OpFormat::of(&op), OpFormat::IntAlu);
+        let halt = Operation {
+            tail: true,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::Halt,
+        };
+        assert_eq!(OpFormat::of(&halt), OpFormat::Branch);
+    }
+
+    #[test]
+    fn header_fields_are_uniform_across_formats() {
+        for fmt in OpFormat::ALL {
+            let f = fmt.fields();
+            assert_eq!((f[0].offset, f[0].width), (0, 1), "{fmt:?} T");
+            assert_eq!((f[1].offset, f[1].width), (1, 1), "{fmt:?} S");
+            assert_eq!((f[2].offset, f[2].width), (2, 2), "{fmt:?} OPT");
+            assert_eq!((f[3].offset, f[3].width), (4, 5), "{fmt:?} OPCODE");
+        }
+    }
+
+    #[test]
+    fn table2_renders_every_format() {
+        let s = render_table2();
+        for fmt in OpFormat::ALL {
+            assert!(s.contains(fmt.name()), "missing {}", fmt.name());
+        }
+        assert!(s.contains("total 40 bits"));
+    }
+}

@@ -1,0 +1,163 @@
+//! MultiOps — the zero-NOP VLIW issue groups.
+//!
+//! TEPIC stores no NOPs: a MultiOp (MOP) is simply a maximal run of
+//! operations ending at the first set *tail* bit (paper §2.1, citing Conte et al. MICRO-29).
+//! This module provides the splitting iterator plus simple group-level
+//! queries used by the scheduler, the fetch simulator and the alignment
+//! logic of the banked cache.
+
+use crate::op::Operation;
+use crate::{ISSUE_WIDTH, MEM_SLOTS, OP_BYTES};
+
+/// Iterator over the MultiOps of an operation slice, splitting after every
+/// tail bit. A trailing run without a tail bit (malformed input) is yielded
+/// as a final group so callers can diagnose it.
+#[derive(Debug, Clone)]
+pub struct Mops<'a> {
+    rest: &'a [Operation],
+}
+
+/// Splits `ops` into MultiOps.
+pub fn mops(ops: &[Operation]) -> Mops<'_> {
+    Mops { rest: ops }
+}
+
+impl<'a> Iterator for Mops<'a> {
+    type Item = &'a [Operation];
+
+    fn next(&mut self) -> Option<&'a [Operation]> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        let cut = self
+            .rest
+            .iter()
+            .position(|op| op.tail)
+            .map(|i| i + 1)
+            .unwrap_or(self.rest.len());
+        let (head, tail) = self.rest.split_at(cut);
+        self.rest = tail;
+        Some(head)
+    }
+}
+
+/// Number of MultiOps in `ops` (counting a malformed tail-less suffix as
+/// one group).
+pub fn count_mops(ops: &[Operation]) -> usize {
+    mops(ops).count()
+}
+
+/// True when the group satisfies the 6-issue machine's constraints:
+/// at most [`ISSUE_WIDTH`] operations, at most [`MEM_SLOTS`] memory
+/// operations, at most one control transfer, and only the last operation
+/// carries the tail bit.
+pub fn is_legal_mop(group: &[Operation]) -> bool {
+    !group.is_empty()
+        && group.len() <= ISSUE_WIDTH
+        && group.iter().filter(|o| o.is_mem()).count() <= MEM_SLOTS
+        && group.iter().filter(|o| o.ends_block()).count() <= 1
+        && group[..group.len() - 1].iter().all(|o| !o.tail)
+        && group.last().is_some_and(|o| o.tail)
+}
+
+/// Size in bytes of a MultiOp in the uncompressed image.
+pub fn mop_bytes(group: &[Operation]) -> usize {
+    group.len() * OP_BYTES
+}
+
+/// The maximum MultiOp size in bytes — this is the bank line size of the
+/// banked ICache (paper §3.4: "the bank line size is equal to the maximum
+/// size MOP").
+pub const MAX_MOP_BYTES: usize = ISSUE_WIDTH * OP_BYTES;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{IntOpcode, MemWidth, OpKind};
+    use crate::regs::{Gpr, Pr};
+
+    fn alu(tail: bool) -> Operation {
+        Operation {
+            tail,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::IntAlu {
+                op: IntOpcode::Add,
+                src1: Gpr::ZERO,
+                src2: Gpr::ZERO,
+                dest: Gpr::new(1),
+            },
+        }
+    }
+
+    fn load(tail: bool) -> Operation {
+        Operation {
+            tail,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::Load {
+                width: MemWidth::Word,
+                base: Gpr::SP,
+                lat: 2,
+                dest: Gpr::new(1),
+            },
+        }
+    }
+
+    #[test]
+    fn splits_on_tails() {
+        let ops = [
+            alu(false),
+            alu(true),
+            alu(true),
+            alu(false),
+            alu(false),
+            alu(true),
+        ];
+        let groups: Vec<_> = mops(&ops).collect();
+        assert_eq!(
+            groups.iter().map(|g| g.len()).collect::<Vec<_>>(),
+            vec![2, 1, 3]
+        );
+        assert_eq!(count_mops(&ops), 3);
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert_eq!(count_mops(&[]), 0);
+    }
+
+    #[test]
+    fn tailless_suffix_is_one_group() {
+        let ops = [alu(true), alu(false), alu(false)];
+        let groups: Vec<_> = mops(&ops).collect();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[1].len(), 2);
+        assert!(!is_legal_mop(groups[1]));
+    }
+
+    #[test]
+    fn legality_checks() {
+        assert!(is_legal_mop(&[alu(false), alu(true)]));
+        assert!(is_legal_mop(&[load(false), load(true)]));
+        // Three memory ops exceed the two memory slots.
+        assert!(!is_legal_mop(&[load(false), load(false), load(true)]));
+        // Seven ops exceed issue width.
+        let wide: Vec<_> = (0..6)
+            .map(|_| alu(false))
+            .chain(std::iter::once(alu(true)))
+            .collect();
+        assert!(!is_legal_mop(&wide));
+        // Tail bit in the middle.
+        assert!(!is_legal_mop(&[alu(true), alu(true)]));
+        assert!(is_legal_mop(&[alu(true)]));
+        assert!(!is_legal_mop(&[]));
+    }
+
+    #[test]
+    fn max_mop_bytes_matches_issue_width() {
+        assert_eq!(MAX_MOP_BYTES, 30);
+        let full: Vec<_> = (0..5).map(|_| alu(false)).chain([alu(true)]).collect();
+        assert_eq!(mop_bytes(&full), MAX_MOP_BYTES);
+    }
+}

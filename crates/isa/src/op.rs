@@ -1,0 +1,1147 @@
+//! Typed TEPIC operations and their 40-bit binary encoding.
+//!
+//! Every operation is 40 bits. Bit 0 holds the tail bit `T` (zero-NOP MOP
+//! delimiter), bit 1 the speculative bit `S`, bits 2..=3 the operation type
+//! `OPT`, bits 4..=8 the 5-bit `OPCODE`, and the remaining 31 bits are laid
+//! out per-format exactly as in the paper's Appendix Table 2 (see
+//! [`crate::format`] for the field tables).
+//!
+//! Branch targets are *block indices* into the program's Address Translation
+//! Table rather than byte addresses — an isomorphic choice documented in
+//! DESIGN.md §4 that keeps the 16-bit target field of the branch format
+//! sufficient for every workload.
+
+use crate::regs::{Fpr, Gpr, Pr};
+use std::fmt;
+
+/// Extracts `width` bits of `word` starting at bit `off` (LSB-first).
+#[inline]
+pub(crate) fn get_bits(word: u64, off: u32, width: u32) -> u64 {
+    (word >> off) & ((1u64 << width) - 1)
+}
+
+/// Inserts `value` into `width` bits of `word` at bit `off`.
+///
+/// # Panics
+///
+/// Panics (debug) if `value` does not fit in `width` bits.
+#[inline]
+pub(crate) fn set_bits(word: &mut u64, off: u32, width: u32, value: u64) {
+    debug_assert!(
+        value < (1u64 << width),
+        "field value {value} overflows {width} bits"
+    );
+    *word |= (value & ((1u64 << width) - 1)) << off;
+}
+
+/// Operation type — the 2-bit `OPT` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpType {
+    /// Integer ALU, compares and immediates.
+    Int = 0,
+    /// Floating point.
+    Float = 1,
+    /// Memory (loads and stores).
+    Mem = 2,
+    /// Control transfer and system operations.
+    Ctrl = 3,
+}
+
+impl OpType {
+    /// Decodes the 2-bit `OPT` field.
+    pub fn from_bits(v: u64) -> OpType {
+        match v & 0b11 {
+            0 => OpType::Int,
+            1 => OpType::Float,
+            2 => OpType::Mem,
+            _ => OpType::Ctrl,
+        }
+    }
+}
+
+/// Integer ALU opcodes (OPT = `Int`, `IntAlu` format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum IntOpcode {
+    Add = 0,
+    Sub = 1,
+    Mul = 2,
+    Div = 3,
+    Rem = 4,
+    And = 5,
+    Or = 6,
+    Xor = 7,
+    Shl = 8,
+    Shr = 9,
+    Sra = 10,
+    /// `dest = src1` (register move; `src2` ignored).
+    Mov = 11,
+    /// `dest = !src1` (bitwise complement; `src2` ignored).
+    Not = 12,
+    Min = 13,
+    Max = 14,
+}
+
+impl IntOpcode {
+    /// All integer ALU opcodes.
+    pub const ALL: [IntOpcode; 15] = [
+        IntOpcode::Add,
+        IntOpcode::Sub,
+        IntOpcode::Mul,
+        IntOpcode::Div,
+        IntOpcode::Rem,
+        IntOpcode::And,
+        IntOpcode::Or,
+        IntOpcode::Xor,
+        IntOpcode::Shl,
+        IntOpcode::Shr,
+        IntOpcode::Sra,
+        IntOpcode::Mov,
+        IntOpcode::Not,
+        IntOpcode::Min,
+        IntOpcode::Max,
+    ];
+
+    fn from_bits(v: u64) -> Option<IntOpcode> {
+        Self::ALL.get(v as usize).copied()
+    }
+
+    /// Lowercase mnemonic, e.g. `"add"`.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IntOpcode::Add => "add",
+            IntOpcode::Sub => "sub",
+            IntOpcode::Mul => "mul",
+            IntOpcode::Div => "div",
+            IntOpcode::Rem => "rem",
+            IntOpcode::And => "and",
+            IntOpcode::Or => "or",
+            IntOpcode::Xor => "xor",
+            IntOpcode::Shl => "shl",
+            IntOpcode::Shr => "shr",
+            IntOpcode::Sra => "sra",
+            IntOpcode::Mov => "mov",
+            IntOpcode::Not => "not",
+            IntOpcode::Min => "min",
+            IntOpcode::Max => "max",
+        }
+    }
+}
+
+/// Secondary opcodes under OPT = `Int` that use non-ALU formats.
+pub(crate) mod int_secondary {
+    /// Compare-to-predicate (`IntCmp` format).
+    pub const CMPP: u64 = 16;
+    /// Load 20-bit sign-extended immediate (`LoadImm` format).
+    pub const LDI: u64 = 17;
+    /// Load 20-bit immediate shifted left by 12 (`LoadImm` format).
+    pub const LDIH: u64 = 18;
+}
+
+/// Floating-point arithmetic opcodes (OPT = `Float`, `Float` format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum FloatOpcode {
+    Fadd = 0,
+    Fsub = 1,
+    Fmul = 2,
+    Fdiv = 3,
+    /// `dest = -src1` (`src2` ignored).
+    Fneg = 4,
+    /// `dest = |src1|` (`src2` ignored).
+    Fabs = 5,
+    Fmin = 6,
+    Fmax = 7,
+    /// `dest = src1` (`src2` ignored).
+    Fmov = 8,
+}
+
+impl FloatOpcode {
+    /// All floating-point arithmetic opcodes.
+    pub const ALL: [FloatOpcode; 9] = [
+        FloatOpcode::Fadd,
+        FloatOpcode::Fsub,
+        FloatOpcode::Fmul,
+        FloatOpcode::Fdiv,
+        FloatOpcode::Fneg,
+        FloatOpcode::Fabs,
+        FloatOpcode::Fmin,
+        FloatOpcode::Fmax,
+        FloatOpcode::Fmov,
+    ];
+
+    fn from_bits(v: u64) -> Option<FloatOpcode> {
+        Self::ALL.get(v as usize).copied()
+    }
+
+    /// Lowercase mnemonic, e.g. `"fadd"`.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FloatOpcode::Fadd => "fadd",
+            FloatOpcode::Fsub => "fsub",
+            FloatOpcode::Fmul => "fmul",
+            FloatOpcode::Fdiv => "fdiv",
+            FloatOpcode::Fneg => "fneg",
+            FloatOpcode::Fabs => "fabs",
+            FloatOpcode::Fmin => "fmin",
+            FloatOpcode::Fmax => "fmax",
+            FloatOpcode::Fmov => "fmov",
+        }
+    }
+}
+
+/// Secondary opcodes under OPT = `Float`.
+pub(crate) mod float_secondary {
+    /// FP compare-to-predicate (`IntCmp` format over FPR indices).
+    pub const FCMPP: u64 = 16;
+    /// Convert integer to float (`IntAlu` format, GPR src → FPR dest).
+    pub const CVTIF: u64 = 17;
+    /// Convert float to integer, truncating (`IntAlu` format, FPR src → GPR dest).
+    pub const CVTFI: u64 = 18;
+}
+
+/// Memory opcodes (OPT = `Mem`).
+pub(crate) mod mem_opcode {
+    pub const LOAD: u64 = 0;
+    pub const STORE: u64 = 1;
+    pub const FLOAD: u64 = 2;
+    pub const FSTORE: u64 = 3;
+}
+
+/// Control opcodes (OPT = `Ctrl`, `Branch` format).
+pub(crate) mod ctrl_opcode {
+    pub const BR: u64 = 0;
+    pub const BRL: u64 = 1;
+    pub const BRET: u64 = 2;
+    pub const HALT: u64 = 3;
+    pub const SYS: u64 = 4;
+}
+
+/// Comparison condition — the 3-bit `D1` field of the compare-to-predicate
+/// format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    Eq = 0,
+    Ne = 1,
+    Lt = 2,
+    Le = 3,
+    Gt = 4,
+    Ge = 5,
+    /// Unsigned less-than.
+    Ltu = 6,
+    /// Unsigned greater-or-equal.
+    Geu = 7,
+}
+
+impl Cond {
+    /// All conditions.
+    pub const ALL: [Cond; 8] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Lt,
+        Cond::Le,
+        Cond::Gt,
+        Cond::Ge,
+        Cond::Ltu,
+        Cond::Geu,
+    ];
+
+    fn from_bits(v: u64) -> Cond {
+        Self::ALL[(v & 0b111) as usize]
+    }
+
+    /// The condition testing the logically opposite outcome.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+            Cond::Ltu => Cond::Geu,
+            Cond::Geu => Cond::Ltu,
+        }
+    }
+
+    /// The condition with operands swapped (`a op b` ⇔ `b op.swap() a`).
+    pub fn swap(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Eq,
+            Cond::Ne => Cond::Ne,
+            Cond::Lt => Cond::Gt,
+            Cond::Le => Cond::Ge,
+            Cond::Gt => Cond::Lt,
+            Cond::Ge => Cond::Le,
+            Cond::Ltu => Cond::Ltu, // unsigned swaps are not closed; callers avoid
+            Cond::Geu => Cond::Geu,
+        }
+    }
+
+    /// Evaluates the condition over two signed 32-bit operands.
+    pub fn eval(self, a: i32, b: i32) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+            Cond::Ltu => (a as u32) < (b as u32),
+            Cond::Geu => (a as u32) >= (b as u32),
+        }
+    }
+
+    /// Evaluates the condition over two `f32` operands (unsigned variants
+    /// fall back to their signed meaning).
+    pub fn eval_f32(self, a: f32, b: f32) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt | Cond::Ltu => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge | Cond::Geu => a >= b,
+        }
+    }
+
+    /// Lowercase mnemonic suffix, e.g. `"lt"`.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+            Cond::Ltu => "ltu",
+            Cond::Geu => "geu",
+        }
+    }
+}
+
+/// Memory access width — the 2-bit `BHWX` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum MemWidth {
+    Byte = 0,
+    Half = 1,
+    Word = 2,
+    /// Double-word; accepted by the encoding, unused by the workloads.
+    Double = 3,
+}
+
+impl MemWidth {
+    fn from_bits(v: u64) -> MemWidth {
+        match v & 0b11 {
+            0 => MemWidth::Byte,
+            1 => MemWidth::Half,
+            2 => MemWidth::Word,
+            _ => MemWidth::Double,
+        }
+    }
+
+    /// Access size in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+            MemWidth::Word => 4,
+            MemWidth::Double => 8,
+        }
+    }
+}
+
+/// System call codes carried by the `Sys` operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum SysCode {
+    /// Print the argument register as a signed decimal integer + newline.
+    PrintInt = 1,
+    /// Print the low byte of the argument register as a character.
+    PrintChar = 2,
+}
+
+impl SysCode {
+    fn from_bits(v: u64) -> Option<SysCode> {
+        match v {
+            1 => Some(SysCode::PrintInt),
+            2 => Some(SysCode::PrintChar),
+            _ => None,
+        }
+    }
+}
+
+/// Branch target: an index into the program's block table (and thus its
+/// Address Translation Table).
+pub type BlockTarget = u16;
+
+/// The format-specific payload of an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `dest = src1 <op> src2` (Integer ALU format).
+    IntAlu {
+        op: IntOpcode,
+        src1: Gpr,
+        src2: Gpr,
+        dest: Gpr,
+    },
+    /// `dest(pred) = src1 <cond> src2` (compare-to-predicate format).
+    IntCmp {
+        cond: Cond,
+        src1: Gpr,
+        src2: Gpr,
+        dest: Pr,
+    },
+    /// FP compare-to-predicate (same format over FPR indices).
+    FloatCmp {
+        cond: Cond,
+        src1: Fpr,
+        src2: Fpr,
+        dest: Pr,
+    },
+    /// `dest = sext(imm20)` or, when `high`, `dest = imm20 << 12`.
+    LoadImm { high: bool, imm: i32, dest: Gpr },
+    /// `dest = src1 <op> src2` (FP format; single precision).
+    Float {
+        op: FloatOpcode,
+        src1: Fpr,
+        src2: Fpr,
+        dest: Fpr,
+    },
+    /// `dest = (f32)src` — int → float conversion.
+    CvtIf { src: Gpr, dest: Fpr },
+    /// `dest = (i32)src` — float → int conversion (truncating).
+    CvtFi { src: Fpr, dest: Gpr },
+    /// `dest = mem[base]`, sign-extended per `width`; `lat` is the
+    /// compiler-scheduled latency.
+    Load {
+        width: MemWidth,
+        base: Gpr,
+        lat: u8,
+        dest: Gpr,
+    },
+    /// `mem[base] = value` per `width`.
+    Store {
+        width: MemWidth,
+        base: Gpr,
+        value: Gpr,
+    },
+    /// `fdest = mem[base]` (32-bit float load).
+    FLoad { base: Gpr, lat: u8, dest: Fpr },
+    /// `mem[base] = fvalue` (32-bit float store).
+    FStore { base: Gpr, value: Fpr },
+    /// Jump to block `target` (conditional when predicated).
+    Branch { target: BlockTarget },
+    /// Call: `link = <fall-through block>; goto target`.
+    Call { target: BlockTarget, link: Gpr },
+    /// Return / indirect jump: `goto block(src)`.
+    Ret { src: Gpr },
+    /// Stop the machine.
+    Halt,
+    /// Environment call.
+    Sys { code: SysCode, arg: Gpr },
+}
+
+/// A decoded TEPIC operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Operation {
+    /// Tail bit: set on the last operation of a MultiOp (zero-NOP encoding).
+    pub tail: bool,
+    /// Speculative bit.
+    pub spec: bool,
+    /// Guard predicate; [`Pr::P0`] means "always execute".
+    pub pred: Pr,
+    /// Format-specific payload.
+    pub kind: OpKind,
+}
+
+/// Error returned by [`Operation::decode`] for malformed 40-bit words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeOpError {
+    /// The offending word.
+    pub word: u64,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for DecodeOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#012x}: {}", self.word, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeOpError {}
+
+// Field offsets shared by every format.
+const T_OFF: u32 = 0;
+const S_OFF: u32 = 1;
+const OPT_OFF: u32 = 2;
+const OPC_OFF: u32 = 4;
+const SRC1_OFF: u32 = 9;
+const DEST_OFF: u32 = 29;
+const PRED_OFF: u32 = 35;
+// IntAlu / IntCmp / Store secondary source.
+const SRC2_OFF: u32 = 14;
+// IntCmp condition.
+const D1_OFF: u32 = 21;
+// LoadImm immediate.
+const IMM_OFF: u32 = 9;
+const IMM_W: u32 = 20;
+// Load format fields.
+const LD_BHWX_OFF: u32 = 14;
+const LD_LAT_OFF: u32 = 24;
+// IntAlu / Store width field.
+const BHWX_OFF: u32 = 19;
+// Branch fields.
+const CTR_OFF: u32 = 14;
+const TGT_OFF: u32 = 19;
+const TGT_W: u32 = 16;
+
+/// Maximum positive value of the 20-bit signed immediate.
+pub const IMM_MAX: i32 = (1 << 19) - 1;
+/// Minimum value of the 20-bit signed immediate.
+pub const IMM_MIN: i32 = -(1 << 19);
+
+impl Operation {
+    /// A canonical no-op (`r0 = r0 + r0`); only used internally — the
+    /// zero-NOP encoding means NOPs are never stored in an image.
+    pub fn nop() -> Operation {
+        Operation {
+            tail: true,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::IntAlu {
+                op: IntOpcode::Add,
+                src1: Gpr::ZERO,
+                src2: Gpr::ZERO,
+                dest: Gpr::ZERO,
+            },
+        }
+    }
+
+    /// Encodes the operation into its 40-bit word (in the low 40 bits of the
+    /// returned `u64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `LoadImm` immediate is outside the signed 20-bit range.
+    pub fn encode(&self) -> u64 {
+        let mut w = 0u64;
+        set_bits(&mut w, T_OFF, 1, self.tail as u64);
+        set_bits(&mut w, S_OFF, 1, self.spec as u64);
+        let (opt, opc) = self.opt_opcode();
+        set_bits(&mut w, OPT_OFF, 2, opt as u64);
+        set_bits(&mut w, OPC_OFF, 5, opc);
+        set_bits(&mut w, PRED_OFF, 5, self.pred.index() as u64);
+        match self.kind {
+            OpKind::IntAlu {
+                src1, src2, dest, ..
+            } => {
+                set_bits(&mut w, SRC1_OFF, 5, src1.index() as u64);
+                set_bits(&mut w, SRC2_OFF, 5, src2.index() as u64);
+                set_bits(&mut w, DEST_OFF, 5, dest.index() as u64);
+            }
+            OpKind::IntCmp {
+                cond,
+                src1,
+                src2,
+                dest,
+            } => {
+                set_bits(&mut w, SRC1_OFF, 5, src1.index() as u64);
+                set_bits(&mut w, SRC2_OFF, 5, src2.index() as u64);
+                set_bits(&mut w, D1_OFF, 3, cond as u64);
+                set_bits(&mut w, DEST_OFF, 5, dest.index() as u64);
+            }
+            OpKind::FloatCmp {
+                cond,
+                src1,
+                src2,
+                dest,
+            } => {
+                set_bits(&mut w, SRC1_OFF, 5, src1.index() as u64);
+                set_bits(&mut w, SRC2_OFF, 5, src2.index() as u64);
+                set_bits(&mut w, D1_OFF, 3, cond as u64);
+                set_bits(&mut w, DEST_OFF, 5, dest.index() as u64);
+            }
+            OpKind::LoadImm { imm, dest, .. } => {
+                assert!(
+                    (IMM_MIN..=IMM_MAX).contains(&imm),
+                    "immediate {imm} outside 20-bit signed range"
+                );
+                set_bits(
+                    &mut w,
+                    IMM_OFF,
+                    IMM_W,
+                    (imm as u32 as u64) & ((1 << IMM_W) - 1),
+                );
+                set_bits(&mut w, DEST_OFF, 5, dest.index() as u64);
+            }
+            OpKind::Float {
+                src1, src2, dest, ..
+            } => {
+                set_bits(&mut w, SRC1_OFF, 5, src1.index() as u64);
+                set_bits(&mut w, SRC2_OFF, 5, src2.index() as u64);
+                set_bits(&mut w, DEST_OFF, 5, dest.index() as u64);
+            }
+            OpKind::CvtIf { src, dest } => {
+                set_bits(&mut w, SRC1_OFF, 5, src.index() as u64);
+                set_bits(&mut w, DEST_OFF, 5, dest.index() as u64);
+            }
+            OpKind::CvtFi { src, dest } => {
+                set_bits(&mut w, SRC1_OFF, 5, src.index() as u64);
+                set_bits(&mut w, DEST_OFF, 5, dest.index() as u64);
+            }
+            OpKind::Load {
+                width,
+                base,
+                lat,
+                dest,
+            } => {
+                set_bits(&mut w, SRC1_OFF, 5, base.index() as u64);
+                set_bits(&mut w, LD_BHWX_OFF, 2, width as u64);
+                set_bits(&mut w, LD_LAT_OFF, 5, lat as u64 & 0x1f);
+                set_bits(&mut w, DEST_OFF, 5, dest.index() as u64);
+            }
+            OpKind::FLoad { base, lat, dest } => {
+                set_bits(&mut w, SRC1_OFF, 5, base.index() as u64);
+                set_bits(&mut w, LD_BHWX_OFF, 2, MemWidth::Word as u64);
+                set_bits(&mut w, LD_LAT_OFF, 5, lat as u64 & 0x1f);
+                set_bits(&mut w, DEST_OFF, 5, dest.index() as u64);
+            }
+            OpKind::Store { width, base, value } => {
+                set_bits(&mut w, SRC1_OFF, 5, base.index() as u64);
+                set_bits(&mut w, SRC2_OFF, 5, value.index() as u64);
+                set_bits(&mut w, BHWX_OFF, 2, width as u64);
+            }
+            OpKind::FStore { base, value } => {
+                set_bits(&mut w, SRC1_OFF, 5, base.index() as u64);
+                set_bits(&mut w, SRC2_OFF, 5, value.index() as u64);
+                set_bits(&mut w, BHWX_OFF, 2, MemWidth::Word as u64);
+            }
+            OpKind::Branch { target } => {
+                set_bits(&mut w, TGT_OFF, TGT_W, target as u64);
+            }
+            OpKind::Call { target, link } => {
+                set_bits(&mut w, CTR_OFF, 5, link.index() as u64);
+                set_bits(&mut w, TGT_OFF, TGT_W, target as u64);
+            }
+            OpKind::Ret { src } => {
+                set_bits(&mut w, SRC1_OFF, 5, src.index() as u64);
+            }
+            OpKind::Halt => {}
+            OpKind::Sys { code, arg } => {
+                set_bits(&mut w, SRC1_OFF, 5, arg.index() as u64);
+                set_bits(&mut w, CTR_OFF, 5, code as u64);
+            }
+        }
+        w
+    }
+
+    /// The `(OPT, OPCODE)` pair that selects this operation's format.
+    pub fn opt_opcode(&self) -> (OpType, u64) {
+        match self.kind {
+            OpKind::IntAlu { op, .. } => (OpType::Int, op as u64),
+            OpKind::IntCmp { .. } => (OpType::Int, int_secondary::CMPP),
+            OpKind::LoadImm { high: false, .. } => (OpType::Int, int_secondary::LDI),
+            OpKind::LoadImm { high: true, .. } => (OpType::Int, int_secondary::LDIH),
+            OpKind::Float { op, .. } => (OpType::Float, op as u64),
+            OpKind::FloatCmp { .. } => (OpType::Float, float_secondary::FCMPP),
+            OpKind::CvtIf { .. } => (OpType::Float, float_secondary::CVTIF),
+            OpKind::CvtFi { .. } => (OpType::Float, float_secondary::CVTFI),
+            OpKind::Load { .. } => (OpType::Mem, mem_opcode::LOAD),
+            OpKind::Store { .. } => (OpType::Mem, mem_opcode::STORE),
+            OpKind::FLoad { .. } => (OpType::Mem, mem_opcode::FLOAD),
+            OpKind::FStore { .. } => (OpType::Mem, mem_opcode::FSTORE),
+            OpKind::Branch { .. } => (OpType::Ctrl, ctrl_opcode::BR),
+            OpKind::Call { .. } => (OpType::Ctrl, ctrl_opcode::BRL),
+            OpKind::Ret { .. } => (OpType::Ctrl, ctrl_opcode::BRET),
+            OpKind::Halt => (OpType::Ctrl, ctrl_opcode::HALT),
+            OpKind::Sys { .. } => (OpType::Ctrl, ctrl_opcode::SYS),
+        }
+    }
+
+    /// Decodes a 40-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeOpError`] when the word carries an undefined opcode,
+    /// or when bits above bit 39 are set.
+    pub fn decode(word: u64) -> Result<Operation, DecodeOpError> {
+        if word >> 40 != 0 {
+            return Err(DecodeOpError {
+                word,
+                reason: "bits above bit 39 are set",
+            });
+        }
+        let err = |reason| DecodeOpError { word, reason };
+        let tail = get_bits(word, T_OFF, 1) != 0;
+        let spec = get_bits(word, S_OFF, 1) != 0;
+        let opt = OpType::from_bits(get_bits(word, OPT_OFF, 2));
+        let opc = get_bits(word, OPC_OFF, 5);
+        let pred = Pr::new(get_bits(word, PRED_OFF, 5) as u8);
+        let g = |off| Gpr::new(get_bits(word, off, 5) as u8);
+        let f = |off| Fpr::new(get_bits(word, off, 5) as u8);
+        let kind = match opt {
+            OpType::Int => match opc {
+                int_secondary::CMPP => OpKind::IntCmp {
+                    cond: Cond::from_bits(get_bits(word, D1_OFF, 3)),
+                    src1: g(SRC1_OFF),
+                    src2: g(SRC2_OFF),
+                    dest: Pr::new(get_bits(word, DEST_OFF, 5) as u8),
+                },
+                int_secondary::LDI | int_secondary::LDIH => {
+                    let raw = get_bits(word, IMM_OFF, IMM_W) as u32;
+                    // Sign-extend 20 bits.
+                    let imm = ((raw << 12) as i32) >> 12;
+                    OpKind::LoadImm {
+                        high: opc == int_secondary::LDIH,
+                        imm,
+                        dest: g(DEST_OFF),
+                    }
+                }
+                _ => OpKind::IntAlu {
+                    op: IntOpcode::from_bits(opc).ok_or_else(|| err("undefined integer opcode"))?,
+                    src1: g(SRC1_OFF),
+                    src2: g(SRC2_OFF),
+                    dest: g(DEST_OFF),
+                },
+            },
+            OpType::Float => match opc {
+                float_secondary::FCMPP => OpKind::FloatCmp {
+                    cond: Cond::from_bits(get_bits(word, D1_OFF, 3)),
+                    src1: f(SRC1_OFF),
+                    src2: f(SRC2_OFF),
+                    dest: Pr::new(get_bits(word, DEST_OFF, 5) as u8),
+                },
+                float_secondary::CVTIF => OpKind::CvtIf {
+                    src: g(SRC1_OFF),
+                    dest: f(DEST_OFF),
+                },
+                float_secondary::CVTFI => OpKind::CvtFi {
+                    src: f(SRC1_OFF),
+                    dest: g(DEST_OFF),
+                },
+                _ => OpKind::Float {
+                    op: FloatOpcode::from_bits(opc).ok_or_else(|| err("undefined float opcode"))?,
+                    src1: f(SRC1_OFF),
+                    src2: f(SRC2_OFF),
+                    dest: f(DEST_OFF),
+                },
+            },
+            OpType::Mem => match opc {
+                mem_opcode::LOAD => OpKind::Load {
+                    width: MemWidth::from_bits(get_bits(word, LD_BHWX_OFF, 2)),
+                    base: g(SRC1_OFF),
+                    lat: get_bits(word, LD_LAT_OFF, 5) as u8,
+                    dest: g(DEST_OFF),
+                },
+                mem_opcode::STORE => OpKind::Store {
+                    width: MemWidth::from_bits(get_bits(word, BHWX_OFF, 2)),
+                    base: g(SRC1_OFF),
+                    value: g(SRC2_OFF),
+                },
+                mem_opcode::FLOAD => OpKind::FLoad {
+                    base: g(SRC1_OFF),
+                    lat: get_bits(word, LD_LAT_OFF, 5) as u8,
+                    dest: f(DEST_OFF),
+                },
+                mem_opcode::FSTORE => OpKind::FStore {
+                    base: g(SRC1_OFF),
+                    value: f(SRC2_OFF),
+                },
+                _ => return Err(err("undefined memory opcode")),
+            },
+            OpType::Ctrl => match opc {
+                ctrl_opcode::BR => OpKind::Branch {
+                    target: get_bits(word, TGT_OFF, TGT_W) as u16,
+                },
+                ctrl_opcode::BRL => OpKind::Call {
+                    target: get_bits(word, TGT_OFF, TGT_W) as u16,
+                    link: g(CTR_OFF),
+                },
+                ctrl_opcode::BRET => OpKind::Ret { src: g(SRC1_OFF) },
+                ctrl_opcode::HALT => OpKind::Halt,
+                ctrl_opcode::SYS => OpKind::Sys {
+                    code: SysCode::from_bits(get_bits(word, CTR_OFF, 5))
+                        .ok_or_else(|| err("undefined system call code"))?,
+                    arg: g(SRC1_OFF),
+                },
+                _ => return Err(err("undefined control opcode")),
+            },
+        };
+        Ok(Operation {
+            tail,
+            spec,
+            pred,
+            kind,
+        })
+    }
+
+    /// True when the operation is a control transfer that ends a basic
+    /// block (branch, call, return, or halt — everything under OPT = `Ctrl`
+    /// except `Sys`).
+    pub fn ends_block(&self) -> bool {
+        matches!(
+            self.kind,
+            OpKind::Branch { .. } | OpKind::Call { .. } | OpKind::Ret { .. } | OpKind::Halt
+        )
+    }
+
+    /// True for loads, stores and their FP variants — the operations that
+    /// may only use the two memory-capable issue slots.
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self.kind,
+            OpKind::Load { .. }
+                | OpKind::Store { .. }
+                | OpKind::FLoad { .. }
+                | OpKind::FStore { .. }
+        )
+    }
+
+    /// Result latency in cycles assumed by the LEGO scheduler.
+    pub fn latency(&self) -> u32 {
+        match self.kind {
+            OpKind::Load { .. } | OpKind::FLoad { .. } => 2,
+            OpKind::IntAlu {
+                op: IntOpcode::Mul, ..
+            } => 3,
+            OpKind::IntAlu {
+                op: IntOpcode::Div | IntOpcode::Rem,
+                ..
+            } => 8,
+            OpKind::Float {
+                op: FloatOpcode::Fdiv,
+                ..
+            } => 8,
+            OpKind::Float { .. } | OpKind::CvtIf { .. } | OpKind::CvtFi { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::disasm::disassemble(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(op: Operation) {
+        let w = op.encode();
+        assert!(w >> 40 == 0, "encoding exceeds 40 bits: {w:#x}");
+        assert_eq!(
+            Operation::decode(w).expect("decodes"),
+            op,
+            "round-trip failed for {op:?}"
+        );
+    }
+
+    #[test]
+    fn int_alu_round_trip_all_opcodes() {
+        for op in IntOpcode::ALL {
+            rt(Operation {
+                tail: true,
+                spec: false,
+                pred: Pr::new(3),
+                kind: OpKind::IntAlu {
+                    op,
+                    src1: Gpr::new(1),
+                    src2: Gpr::new(31),
+                    dest: Gpr::new(17),
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn cmp_round_trip_all_conditions() {
+        for cond in Cond::ALL {
+            rt(Operation {
+                tail: false,
+                spec: true,
+                pred: Pr::P0,
+                kind: OpKind::IntCmp {
+                    cond,
+                    src1: Gpr::new(9),
+                    src2: Gpr::new(10),
+                    dest: Pr::new(11),
+                },
+            });
+            rt(Operation {
+                tail: false,
+                spec: false,
+                pred: Pr::P0,
+                kind: OpKind::FloatCmp {
+                    cond,
+                    src1: Fpr::new(1),
+                    src2: Fpr::new(2),
+                    dest: Pr::new(3),
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn load_imm_round_trip_extremes() {
+        for imm in [0, 1, -1, IMM_MAX, IMM_MIN, 42_i32, -524_287] {
+            for high in [false, true] {
+                rt(Operation {
+                    tail: true,
+                    spec: false,
+                    pred: Pr::P0,
+                    kind: OpKind::LoadImm {
+                        high,
+                        imm,
+                        dest: Gpr::new(5),
+                    },
+                });
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn load_imm_overflow_panics() {
+        Operation {
+            tail: true,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::LoadImm {
+                high: false,
+                imm: IMM_MAX + 1,
+                dest: Gpr::new(5),
+            },
+        }
+        .encode();
+    }
+
+    #[test]
+    fn float_round_trip_all_opcodes() {
+        for op in FloatOpcode::ALL {
+            rt(Operation {
+                tail: true,
+                spec: false,
+                pred: Pr::new(30),
+                kind: OpKind::Float {
+                    op,
+                    src1: Fpr::new(8),
+                    src2: Fpr::new(9),
+                    dest: Fpr::new(10),
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        for width in [
+            MemWidth::Byte,
+            MemWidth::Half,
+            MemWidth::Word,
+            MemWidth::Double,
+        ] {
+            rt(Operation {
+                tail: false,
+                spec: false,
+                pred: Pr::P0,
+                kind: OpKind::Load {
+                    width,
+                    base: Gpr::new(4),
+                    lat: 2,
+                    dest: Gpr::new(6),
+                },
+            });
+            rt(Operation {
+                tail: true,
+                spec: false,
+                pred: Pr::new(1),
+                kind: OpKind::Store {
+                    width,
+                    base: Gpr::new(4),
+                    value: Gpr::new(6),
+                },
+            });
+        }
+        rt(Operation {
+            tail: true,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::FLoad {
+                base: Gpr::new(2),
+                lat: 2,
+                dest: Fpr::new(3),
+            },
+        });
+        rt(Operation {
+            tail: true,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::FStore {
+                base: Gpr::new(2),
+                value: Fpr::new(3),
+            },
+        });
+    }
+
+    #[test]
+    fn control_round_trip() {
+        rt(Operation {
+            tail: true,
+            spec: false,
+            pred: Pr::new(7),
+            kind: OpKind::Branch { target: 0xBEEF },
+        });
+        rt(Operation {
+            tail: true,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::Call {
+                target: 123,
+                link: Gpr::LR,
+            },
+        });
+        rt(Operation {
+            tail: true,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::Ret { src: Gpr::LR },
+        });
+        rt(Operation {
+            tail: true,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::Halt,
+        });
+        rt(Operation {
+            tail: true,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::Sys {
+                code: SysCode::PrintInt,
+                arg: Gpr::new(2),
+            },
+        });
+        rt(Operation {
+            tail: true,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::Sys {
+                code: SysCode::PrintChar,
+                arg: Gpr::new(2),
+            },
+        });
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        rt(Operation {
+            tail: false,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::CvtIf {
+                src: Gpr::new(3),
+                dest: Fpr::new(4),
+            },
+        });
+        rt(Operation {
+            tail: true,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::CvtFi {
+                src: Fpr::new(4),
+                dest: Gpr::new(3),
+            },
+        });
+    }
+
+    #[test]
+    fn decode_rejects_high_bits() {
+        assert!(Operation::decode(1u64 << 40).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_undefined_opcodes() {
+        // OPT=Int, OPCODE=31 is undefined.
+        let mut w = 0u64;
+        set_bits(&mut w, OPC_OFF, 5, 31);
+        assert!(Operation::decode(w).is_err());
+        // OPT=Mem, OPCODE=9 is undefined.
+        let mut w = 0u64;
+        set_bits(&mut w, OPT_OFF, 2, OpType::Mem as u64);
+        set_bits(&mut w, OPC_OFF, 5, 9);
+        assert!(Operation::decode(w).is_err());
+        // OPT=Ctrl, OPCODE=29 is undefined.
+        let mut w = 0u64;
+        set_bits(&mut w, OPT_OFF, 2, OpType::Ctrl as u64);
+        set_bits(&mut w, OPC_OFF, 5, 29);
+        assert!(Operation::decode(w).is_err());
+    }
+
+    #[test]
+    fn cond_negate_is_involution() {
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+            for a in [-5i32, 0, 3] {
+                for b in [-5i32, 0, 3] {
+                    assert_eq!(c.eval(a, b), !c.negate().eval(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cond_eval_unsigned() {
+        assert!(Cond::Ltu.eval(5, -1)); // 5 < 0xFFFF_FFFF unsigned
+        assert!(!Cond::Lt.eval(5, -1));
+        assert!(Cond::Geu.eval(-1, 5));
+    }
+
+    #[test]
+    fn ends_block_classification() {
+        let p = Pr::P0;
+        let mk = |kind| Operation {
+            tail: true,
+            spec: false,
+            pred: p,
+            kind,
+        };
+        assert!(mk(OpKind::Branch { target: 0 }).ends_block());
+        assert!(mk(OpKind::Call {
+            target: 0,
+            link: Gpr::LR
+        })
+        .ends_block());
+        assert!(mk(OpKind::Ret { src: Gpr::LR }).ends_block());
+        assert!(mk(OpKind::Halt).ends_block());
+        assert!(!mk(OpKind::Sys {
+            code: SysCode::PrintInt,
+            arg: Gpr::RV
+        })
+        .ends_block());
+        assert!(!Operation::nop().ends_block());
+    }
+
+    #[test]
+    fn mem_classification_and_latency() {
+        let op = Operation {
+            tail: true,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::Load {
+                width: MemWidth::Word,
+                base: Gpr::SP,
+                lat: 2,
+                dest: Gpr::RV,
+            },
+        };
+        assert!(op.is_mem());
+        assert_eq!(op.latency(), 2);
+        assert_eq!(Operation::nop().latency(), 1);
+    }
+}

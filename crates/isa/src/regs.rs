@@ -1,0 +1,172 @@
+//! Architected register files: 32 GPRs, 32 FPRs, 32 predicate registers.
+//!
+//! The newtypes here keep the three register spaces statically distinct.
+//! Software conventions (used by the LEGO compiler and the YULA emulator)
+//! are exposed as associated constants on [`Gpr`] and [`Pr`].
+
+use std::fmt;
+
+/// A general-purpose (integer) register, `r0`..`r31`.
+///
+/// `r0` is hardwired to zero, as in most embedded RISC conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gpr(u8);
+
+/// A floating-point register, `f0`..`f31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fpr(u8);
+
+/// A 1-bit predicate register, `p0`..`p31`.
+///
+/// `p0` is hardwired to *true*; an operation predicated on `p0` always
+/// executes, which is how unconditional operations are expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pr(u8);
+
+macro_rules! reg_impl {
+    ($ty:ident, $prefix:literal) => {
+        impl $ty {
+            /// Number of architected registers in this file.
+            pub const COUNT: u8 = 32;
+
+            /// Creates a register from its index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index >= 32`.
+            #[inline]
+            pub fn new(index: u8) -> Self {
+                assert!(index < Self::COUNT, "register index {index} out of range");
+                Self(index)
+            }
+
+            /// Creates a register from its index, returning `None` when out
+            /// of range.
+            #[inline]
+            pub fn try_new(index: u8) -> Option<Self> {
+                (index < Self::COUNT).then_some(Self(index))
+            }
+
+            /// The register's index within its file (0..32).
+            #[inline]
+            pub fn index(self) -> u8 {
+                self.0
+            }
+
+            /// Iterates over all registers of this file in index order.
+            pub fn all() -> impl Iterator<Item = Self> {
+                (0..Self::COUNT).map(Self)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$ty> for u8 {
+            fn from(r: $ty) -> u8 {
+                r.0
+            }
+        }
+    };
+}
+
+reg_impl!(Gpr, "r");
+reg_impl!(Fpr, "f");
+reg_impl!(Pr, "p");
+
+impl Gpr {
+    /// Hardwired zero register.
+    pub const ZERO: Gpr = Gpr(0);
+    /// Return-value register (callee writes, caller reads).
+    pub const RV: Gpr = Gpr(1);
+    /// First argument register; arguments go in `r2..=r7`.
+    pub const ARG0: Gpr = Gpr(2);
+    /// Number of argument registers.
+    pub const NUM_ARGS: u8 = 6;
+    /// Frame pointer.
+    pub const FP: Gpr = Gpr(28);
+    /// Stack pointer.
+    pub const SP: Gpr = Gpr(29);
+    /// Assembler/compiler scratch register.
+    pub const AT: Gpr = Gpr(30);
+    /// Link register (holds the return *block index* after a call).
+    pub const LR: Gpr = Gpr(31);
+
+    /// The `i`-th argument register (`i < NUM_ARGS`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Gpr::NUM_ARGS`.
+    pub fn arg(i: u8) -> Gpr {
+        assert!(i < Self::NUM_ARGS, "argument register {i} out of range");
+        Gpr(Self::ARG0.0 + i)
+    }
+}
+
+impl Pr {
+    /// Hardwired true predicate.
+    pub const P0: Pr = Pr(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index() {
+        for i in 0..32 {
+            assert_eq!(Gpr::new(i).index(), i);
+            assert_eq!(Fpr::new(i).index(), i);
+            assert_eq!(Pr::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range() {
+        assert!(Gpr::try_new(32).is_none());
+        assert!(Fpr::try_new(255).is_none());
+        assert!(Pr::try_new(32).is_none());
+        assert!(Pr::try_new(31).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_panics_out_of_range() {
+        let _ = Gpr::new(32);
+    }
+
+    #[test]
+    fn display_uses_file_prefix() {
+        assert_eq!(Gpr::new(7).to_string(), "r7");
+        assert_eq!(Fpr::new(0).to_string(), "f0");
+        assert_eq!(Pr::new(31).to_string(), "p31");
+    }
+
+    #[test]
+    fn conventions_are_distinct() {
+        let special = [Gpr::ZERO, Gpr::RV, Gpr::FP, Gpr::SP, Gpr::AT, Gpr::LR];
+        for (i, a) in special.iter().enumerate() {
+            for b in &special[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn arg_registers_are_consecutive() {
+        for i in 0..Gpr::NUM_ARGS {
+            assert_eq!(Gpr::arg(i).index(), 2 + i);
+        }
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let v: Vec<_> = Gpr::all().collect();
+        assert_eq!(v.len(), 32);
+        assert_eq!(v[0], Gpr::ZERO);
+        assert_eq!(v[31], Gpr::LR);
+    }
+}

@@ -1,0 +1,166 @@
+//! Building a program directly against the IR API (no Tink source), then
+//! inspecting the tailored ISA the compiler derives for it — the
+//! "compiler dictates the decoder" workflow of paper Figure 2.
+//!
+//! ```sh
+//! cargo run --example custom_isa --release
+//! ```
+
+use tepic_ccc::ccc::schemes::tailored::TailoredSpec;
+use tepic_ccc::prelude::*;
+use tinker_ir::{Cond, FunctionBuilder, IBinOp, Module, RegClass, Terminator};
+
+fn main() {
+    // A module with one function: sum of the first n odd numbers,
+    // assembled by hand through the FunctionBuilder.
+    let mut module = Module::new();
+    let mut b = FunctionBuilder::new("main", 0, Some(RegClass::Int));
+
+    let entry = b.entry();
+    let head = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+
+    // i = 0; s = 0; odd = 1
+    let i = b.new_vreg(RegClass::Int);
+    let s = b.new_vreg(RegClass::Int);
+    let odd = b.new_vreg(RegClass::Int);
+    let zero = b.iconst(entry, 0);
+    let one = b.iconst(entry, 1);
+    let n = b.iconst(entry, 500);
+    b.push(
+        entry,
+        tinker_ir::Inst::IUn {
+            op: tinker_ir::IUnOp::Mov,
+            dst: i,
+            a: zero,
+        },
+    );
+    b.push(
+        entry,
+        tinker_ir::Inst::IUn {
+            op: tinker_ir::IUnOp::Mov,
+            dst: s,
+            a: zero,
+        },
+    );
+    b.push(
+        entry,
+        tinker_ir::Inst::IUn {
+            op: tinker_ir::IUnOp::Mov,
+            dst: odd,
+            a: one,
+        },
+    );
+    b.set_term(entry, Terminator::Jump(head));
+
+    // while (i < n)
+    let p = b.icmp(head, Cond::Lt, i, n);
+    b.set_term(
+        head,
+        Terminator::CondBr {
+            pred: p,
+            then_bb: body,
+            else_bb: exit,
+        },
+    );
+
+    // s += odd; odd += 2; i += 1
+    let two = b.iconst(body, 2);
+    let s2 = b.ibin(body, IBinOp::Add, s, odd);
+    b.push(
+        body,
+        tinker_ir::Inst::IUn {
+            op: tinker_ir::IUnOp::Mov,
+            dst: s,
+            a: s2,
+        },
+    );
+    let o2 = b.ibin(body, IBinOp::Add, odd, two);
+    b.push(
+        body,
+        tinker_ir::Inst::IUn {
+            op: tinker_ir::IUnOp::Mov,
+            dst: odd,
+            a: o2,
+        },
+    );
+    let i2 = b.ibin(body, IBinOp::Add, i, one);
+    b.push(
+        body,
+        tinker_ir::Inst::IUn {
+            op: tinker_ir::IUnOp::Mov,
+            dst: i,
+            a: i2,
+        },
+    );
+    b.set_term(body, Terminator::Jump(head));
+
+    // print(s); return s
+    b.push(
+        exit,
+        tinker_ir::Inst::Sys {
+            code: tinker_ir::SysCode::PrintInt,
+            arg: s,
+        },
+    );
+    b.set_term(exit, Terminator::Ret(Some(s)));
+
+    module.add_func(b.finish());
+    module.verify().expect("hand-built module verifies");
+    println!("IR:\n{module}");
+
+    // Compile the module and run it: 500² = 250000.
+    let program = lego::compile_module(module, &lego::Options::default()).expect("compiles");
+    let run = Emulator::new(&program)
+        .run(&Limits::default())
+        .expect("runs");
+    assert_eq!(run.output.trim(), "250000");
+    println!("output: {}", run.output.trim());
+
+    // Inspect the tailored ISA the compiler would hand to the PLA.
+    let spec = TailoredSpec::compute(&program);
+    println!("\ntailored ISA for this program:");
+    println!(
+        "  (opt,opcode) kinds used : {:>3} → selector {} bits (vs 7 baseline)",
+        spec.opsel.len(),
+        spec.opsel.width()
+    );
+    println!(
+        "  GPRs used               : {:>3} → register fields {} bits (vs 5)",
+        spec.gpr.len(),
+        spec.gpr.width()
+    );
+    println!(
+        "  predicates used         : {:>3} → guard field {} bits (vs 5)",
+        spec.pr.len(),
+        spec.pr.width()
+    );
+    println!(
+        "  immediate width         : {:>3} bits (vs 20)",
+        spec.imm_width
+    );
+    println!(
+        "  branch target width     : {:>3} bits (vs 16)",
+        spec.target_width
+    );
+    let avg_bits: f64 = program
+        .ops()
+        .iter()
+        .map(|o| spec.op_bits(o) as f64)
+        .sum::<f64>()
+        / program.num_ops() as f64;
+    println!("  average op              : {avg_bits:.1} bits (vs 40)");
+
+    let out = schemes::tailored::TailoredScheme
+        .compress(&program)
+        .expect("tailored");
+    println!(
+        "  image                   : {} B → {} B ({:.1}%)",
+        program.code_size(),
+        out.image.total_bytes(),
+        out.image.ratio(program.code_size()) * 100.0
+    );
+    assert!(out.verify_roundtrip(&program));
+    println!("  round-trip              : verified bit-exact");
+}

@@ -1,0 +1,78 @@
+//! Quickstart: compile a Tink program with LEGO, execute it on YULA,
+//! compress the ROM with every scheme, and simulate the fetch pipelines.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use tepic_ccc::prelude::*;
+
+fn main() {
+    // 1. A small embedded application in the Tink language.
+    let source = r#"
+        global samples[64];
+        fn main() {
+            var i;
+            // Synthesize a waveform, then run a windowed peak detector.
+            for (i = 0; i < 64; i = i + 1) {
+                samples[i] = ((i * 37) % 61) - 30;
+            }
+            var peaks = 0;
+            for (i = 1; i < 63; i = i + 1) {
+                if (samples[i] > samples[i-1] && samples[i] > samples[i+1]) {
+                    peaks = peaks + 1;
+                }
+            }
+            print(peaks);
+        }
+    "#;
+
+    // 2. Compile: frontend → optimizer → scheduler → TEPIC image.
+    let program = lego::compile(source, &lego::Options::default()).expect("compiles");
+    println!(
+        "compiled: {} ops in {} blocks ({} MultiOps), {} bytes of 40-bit code",
+        program.num_ops(),
+        program.num_blocks(),
+        program.num_mops(),
+        program.code_size()
+    );
+
+    // 3. Execute on the emulator — output plus a dynamic block trace.
+    let run = Emulator::new(&program)
+        .run(&Limits::default())
+        .expect("runs");
+    println!("program output: {}", run.output.trim());
+    println!(
+        "dynamic: {} ops over {} block fetches (MOP density {:.2})",
+        run.stats.ops,
+        run.stats.blocks,
+        run.stats.avg_mop_density()
+    );
+
+    // 4. Compress the ROM with every scheme (Figure 5 in miniature).
+    println!("\n{}", CompressionReport::build("quickstart", &program));
+
+    // 5. Fetch-pipeline simulation (Figure 13 in miniature).
+    let base_img = schemes::base::encode_base(&program);
+    let tailored = schemes::tailored::TailoredScheme
+        .compress(&program)
+        .expect("tailored");
+    let full = schemes::full::FullScheme::default()
+        .compress(&program)
+        .expect("full");
+    for (name, img, cfg) in [
+        ("ideal", &base_img, FetchConfig::ideal()),
+        ("base", &base_img, FetchConfig::base()),
+        ("tailored", &tailored.image, FetchConfig::tailored()),
+        ("compressed", &full.image, FetchConfig::compressed()),
+    ] {
+        let r = simulate(&program, img, &run.trace, &cfg);
+        println!(
+            "{name:<11} IPC {:.3}  (pred {:.1}%, I$ hit {:.1}%, bus flips {})",
+            r.ipc(),
+            r.pred_accuracy() * 100.0,
+            r.cache_hit_rate() * 100.0,
+            r.bus_bit_flips
+        );
+    }
+}

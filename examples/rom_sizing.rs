@@ -1,0 +1,104 @@
+//! ROM sizing study for an embedded DSP-style firmware: how much ROM does
+//! each encoding need once the Address Translation Table is included, and
+//! what does the decode hardware cost? This is the workflow an ASIC team
+//! would run before choosing an encoding (paper §1–§3).
+//!
+//! ```sh
+//! cargo run --example rom_sizing --release
+//! ```
+
+use tepic_ccc::prelude::*;
+
+/// A firmware image: fixed-point FIR filter + control loop + UART-style
+/// output formatting — the classic embedded mix of DSP kernel and glue.
+const FIRMWARE: &str = r#"
+    global coeff[16] = { 3, -7, 12, -18, 25, -31, 36, -38, 38, -36, 31, -25, 18, -12, 7, -3 };
+    global delay[16];
+    global output[128];
+    global rng = 1;
+
+    fn rand() {
+        rng = (rng * 1103 + 12345) & 0x7FFFFF;
+        return rng;
+    }
+
+    fn fir(sample) {
+        var i;
+        // Shift the delay line.
+        for (i = 15; i > 0; i = i - 1) {
+            delay[i] = delay[i-1];
+        }
+        delay[0] = sample;
+        var acc = 0;
+        for (i = 0; i < 16; i = i + 1) {
+            acc = acc + delay[i] * coeff[i];
+        }
+        return acc >> 6;
+    }
+
+    fn put_decimal(v) {
+        if (v < 0) { putc('-'); v = 0 - v; }
+        if (v >= 10) { put_decimal(v / 10); }
+        putc('0' + v % 10);
+        return 0;
+    }
+
+    fn main() {
+        var n;
+        var clipped = 0;
+        for (n = 0; n < 128; n = n + 1) {
+            var s = (rand() % 256) - 128;
+            var y = fir(s);
+            if (y > 120) { y = 120; clipped = clipped + 1; }
+            if (y < -120) { y = -120; clipped = clipped + 1; }
+            output[n] = y;
+        }
+        put_decimal(clipped);
+        putc(10);
+        var sum = 0;
+        for (n = 0; n < 128; n = n + 1) { sum = (sum * 31 + output[n]) & 0xFFFFF; }
+        put_decimal(sum);
+        putc(10);
+    }
+"#;
+
+fn main() {
+    let program = lego::compile(FIRMWARE, &lego::Options::default()).expect("firmware compiles");
+    let run = Emulator::new(&program)
+        .run(&Limits::default())
+        .expect("firmware runs");
+    println!("firmware output:\n{}", run.output.trim());
+    println!();
+
+    // Full ROM accounting: code + ATT per scheme, plus decode hardware.
+    let report = CompressionReport::build("firmware", &program);
+    println!("{report}");
+
+    // The per-scheme ROM decision in embedded terms.
+    let base = report.row("base").expect("base present");
+    println!("ROM budget view (16-bit-wide ROM parts):");
+    for row in &report.rows {
+        let total = row.code_bytes + row.att_bytes;
+        println!(
+            "  {:<10} {:>6} bytes ROM ({:>5.1}% of base), decoder ≈ {:>12} transistors",
+            row.scheme,
+            total,
+            100.0 * total as f64 / base.code_bytes as f64,
+            row.decoder_transistors
+        );
+    }
+
+    // Tailored-ISA extra artifact: the compiler-emitted decoder Verilog.
+    let spec = tepic_ccc::ccc::schemes::tailored::TailoredSpec::compute(&program);
+    let verilog = tepic_ccc::ccc::pla::emit_tailored_decoder_verilog(&spec, "firmware_decoder");
+    println!(
+        "\ntailored decoder: {} (opt,opcode) kinds, header {} bits, {} lines of Verilog",
+        spec.opsel.len(),
+        spec.header_width(),
+        verilog.lines().count()
+    );
+    println!("--- first lines of the generated module ---");
+    for line in verilog.lines().take(12) {
+        println!("{line}");
+    }
+}

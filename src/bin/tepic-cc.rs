@@ -1,0 +1,150 @@
+//! `tepic-cc` — the command-line driver for the LEGO/TEPIC tool suite.
+//!
+//! ```text
+//! tepic-cc run <file.tink>            compile and execute
+//! tepic-cc disasm <file.tink>         compile and print the TEPIC listing
+//! tepic-cc report <file.tink>         compression report (Fig 5/7/10 rows)
+//! tepic-cc verilog <file.tink>        emit the tailored-decoder Verilog
+//! tepic-cc sim <file.tink>            fetch-pipeline study (Fig 13 row)
+//! tepic-cc stats <file.tink>          static + dynamic statistics
+//! ```
+//!
+//! With `-` as the file, source is read from stdin. `--no-opt` disables
+//! the optimizer.
+
+use std::io::Read;
+use std::process::ExitCode;
+use tepic_ccc::ccc::pla::emit_tailored_decoder_verilog;
+use tepic_ccc::ccc::schemes::tailored::TailoredSpec;
+use tepic_ccc::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tepic-cc <run|disasm|report|verilog|sim|stats> <file.tink|-> [--no-opt]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, file) = match (args.first(), args.get(1)) {
+        (Some(c), Some(f)) => (c.as_str(), f.as_str()),
+        _ => return usage(),
+    };
+    let optimize = !args.iter().any(|a| a == "--no-opt");
+
+    let source = if file == "-" {
+        let mut s = String::new();
+        if std::io::stdin().read_to_string(&mut s).is_err() {
+            eprintln!("tepic-cc: cannot read stdin");
+            return ExitCode::FAILURE;
+        }
+        s
+    } else {
+        match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tepic-cc: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let opts = lego::Options {
+        optimize,
+        ..lego::Options::default()
+    };
+    let program = match lego::compile(&source, &opts) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("tepic-cc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd {
+        "run" => match Emulator::new(&program).run(&Limits::default()) {
+            Ok(r) => {
+                print!("{}", r.output);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("tepic-cc: runtime error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "disasm" => {
+            print!("{}", program.listing());
+            ExitCode::SUCCESS
+        }
+        "report" => {
+            print!("{}", CompressionReport::build(file, &program));
+            ExitCode::SUCCESS
+        }
+        "verilog" => {
+            let spec = TailoredSpec::compute(&program);
+            print!(
+                "{}",
+                emit_tailored_decoder_verilog(&spec, "tepic_tailored_decoder")
+            );
+            ExitCode::SUCCESS
+        }
+        "sim" => {
+            let run = match Emulator::new(&program).run(&Limits::default()) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("tepic-cc: runtime error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let base = schemes::base::encode_base(&program);
+            let tail = schemes::tailored::TailoredScheme
+                .compress(&program)
+                .expect("tailored");
+            let full = schemes::full::FullScheme::default()
+                .compress(&program)
+                .expect("full");
+            println!(
+                "{:<11} {:>7} {:>9} {:>8} {:>9}",
+                "config", "IPC", "pred", "I$ hit", "flips"
+            );
+            for (name, img, cfg) in [
+                ("ideal", &base, FetchConfig::ideal()),
+                ("base", &base, FetchConfig::base()),
+                ("tailored", &tail.image, FetchConfig::tailored()),
+                ("compressed", &full.image, FetchConfig::compressed()),
+            ] {
+                let r = simulate(&program, img, &run.trace, &cfg);
+                println!(
+                    "{name:<11} {:>7.3} {:>8.1}% {:>7.1}% {:>9}",
+                    r.ipc(),
+                    r.pred_accuracy() * 100.0,
+                    r.cache_hit_rate() * 100.0,
+                    r.bus_bit_flips
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "stats" => {
+            println!("functions   : {}", program.funcs().len());
+            println!("blocks      : {}", program.num_blocks());
+            println!("operations  : {}", program.num_ops());
+            println!("MultiOps    : {}", program.num_mops());
+            println!(
+                "static ILP  : {:.2} ops/MOP",
+                program.num_ops() as f64 / program.num_mops() as f64
+            );
+            println!("code size   : {} bytes", program.code_size());
+            println!("data size   : {} bytes", program.data().len());
+            match Emulator::new(&program).run(&Limits::default()) {
+                Ok(r) => {
+                    println!("dyn ops     : {}", r.stats.ops);
+                    println!("dyn blocks  : {}", r.stats.blocks);
+                    println!("MOP density : {:.2}", r.stats.avg_mop_density());
+                    println!("taken frac  : {:.2}", r.stats.taken_fraction);
+                }
+                Err(e) => println!("dyn         : <runtime error: {e}>"),
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,57 @@
+//! Whole-pipeline determinism: identical inputs must produce bit-identical
+//! artifacts at every stage (the compiler is part of the trusted base for
+//! the ROM contents, so nondeterminism would poison every experiment).
+
+use tepic_ccc::ccc::schemes::standard_schemes;
+use tepic_ccc::prelude::*;
+
+#[test]
+fn compilation_is_bit_deterministic() {
+    for w in workloads::ALL.iter().take(4) {
+        let a = w.compile().unwrap();
+        let b = w.compile().unwrap();
+        assert_eq!(a.code_bytes(), b.code_bytes(), "{}: code differs", w.name);
+        assert_eq!(a.data(), b.data(), "{}: data differs", w.name);
+        assert_eq!(a.entry(), b.entry());
+    }
+}
+
+#[test]
+fn compression_is_bit_deterministic() {
+    let w = workloads::by_name("perl").unwrap();
+    let p = w.compile().unwrap();
+    for scheme in standard_schemes() {
+        let a = scheme.compress(&p).unwrap();
+        let b = scheme.compress(&p).unwrap();
+        assert_eq!(
+            a.image.bytes,
+            b.image.bytes,
+            "{}: bytes differ",
+            scheme.name()
+        );
+        assert_eq!(a.image.block_start, b.image.block_start);
+        assert_eq!(a.image.decoder, b.image.decoder);
+    }
+}
+
+#[test]
+fn traces_are_deterministic() {
+    let w = workloads::by_name("go").unwrap();
+    let p = w.compile().unwrap();
+    let a = Emulator::new(&p).run(&Limits::default()).unwrap();
+    let b = Emulator::new(&p).run(&Limits::default()).unwrap();
+    assert_eq!(a.trace.blocks(), b.trace.blocks());
+    assert_eq!(a.output, b.output);
+}
+
+#[test]
+fn simulation_is_deterministic_across_configs() {
+    let w = workloads::by_name("li").unwrap();
+    let (p, run) = w.compile_and_run().unwrap();
+    let img = tepic_ccc::ccc::schemes::base::encode_base(&p);
+    for cfg in [FetchConfig::base(), FetchConfig::ideal()] {
+        let a = simulate(&p, &img, &run.trace, &cfg);
+        let b = simulate(&p, &img, &run.trace, &cfg);
+        assert_eq!(a, b);
+    }
+}
