@@ -75,9 +75,7 @@ pub fn lower_program(prog: &Program) -> Result<Module, LowerError> {
                 }
                 match g.kind {
                     ElemKind::Byte => vs.iter().map(|&v| v as u8).collect(),
-                    ElemKind::Half => {
-                        vs.iter().flat_map(|&v| (v as i16).to_le_bytes()).collect()
-                    }
+                    ElemKind::Half => vs.iter().flat_map(|&v| (v as i16).to_le_bytes()).collect(),
                     _ => vs.iter().flat_map(|&v| (v as i32).to_le_bytes()).collect(),
                 }
             }
@@ -865,7 +863,13 @@ mod half_tests {
         let has_half = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
             matches!(
                 i,
-                Inst::Load { width: Width::Half, .. } | Inst::Store { width: Width::Half, .. }
+                Inst::Load {
+                    width: Width::Half,
+                    ..
+                } | Inst::Store {
+                    width: Width::Half,
+                    ..
+                }
             )
         });
         assert!(has_half, "half-width accesses expected");

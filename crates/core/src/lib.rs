@@ -40,10 +40,14 @@
 
 pub mod att;
 pub mod encoded;
+pub mod fault;
+pub mod integrity;
 pub mod pla;
 pub mod report;
 pub mod schemes;
 
-pub use att::{AddressTranslationTable, AttEntry};
+pub use att::{AddressTranslationTable, AttEntry, ATT_ENTRY_BYTES};
 pub use encoded::{DecoderCost, EncodedProgram, SchemeKind};
+pub use fault::{CampaignConfig, CampaignReport, FaultInjector, FaultKind, FaultTarget, Outcome};
+pub use integrity::{crc32, crc8, parity_fold, IntegrityError};
 pub use report::{CompressionReport, SchemeRow};

@@ -2,7 +2,7 @@
 //! original image. Exists so the fetch simulator and the power model can
 //! treat all encodings uniformly.
 
-use super::{BlockCodec, CompressError, Scheme, SchemeOutput};
+use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::{Program, OP_BYTES};
 
@@ -33,17 +33,29 @@ pub fn encode_base(program: &Program) -> EncodedProgram {
 struct BaseCodec;
 
 impl BlockCodec for BaseCodec {
-    fn decode_block(&self, image: &EncodedProgram, b: usize, num_ops: usize) -> Option<Vec<u64>> {
+    fn decode_block(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
         let start = image.block_start[b] as usize;
         let mut out = Vec::with_capacity(num_ops);
         for i in 0..num_ops {
             let off = start + i * OP_BYTES;
-            let chunk = image.bytes.get(off..off + OP_BYTES)?;
+            let chunk = image
+                .bytes
+                .get(off..off + OP_BYTES)
+                .ok_or(BlockDecodeError::Eos)?;
             let mut w = [0u8; 8];
             w[..OP_BYTES].copy_from_slice(chunk);
             out.push(u64::from_le_bytes(w));
         }
-        Some(out)
+        Ok(out)
+    }
+
+    fn dictionary_image(&self) -> Vec<u8> {
+        Vec::new()
     }
 }
 

@@ -6,7 +6,7 @@
 //! at an intermediate compression ratio — the paper measures ≈72% of the
 //! original size.
 
-use super::{BlockCodec, CompressError, Scheme, SchemeOutput};
+use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::{Program, OP_BYTES};
 use tinker_huffman::{BitReader, BitWriter, CanonicalDecoder, CodeBook, DecoderComplexity};
@@ -34,7 +34,12 @@ struct ByteCodec {
 }
 
 impl BlockCodec for ByteCodec {
-    fn decode_block(&self, image: &EncodedProgram, b: usize, num_ops: usize) -> Option<Vec<u64>> {
+    fn decode_block(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
         let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
         let mut out = Vec::with_capacity(num_ops);
         for _ in 0..num_ops {
@@ -44,7 +49,11 @@ impl BlockCodec for ByteCodec {
             }
             out.push(u64::from_le_bytes(w));
         }
-        Some(out)
+        Ok(out)
+    }
+
+    fn dictionary_image(&self) -> Vec<u8> {
+        self.decoder.table_image()
     }
 }
 
@@ -74,7 +83,7 @@ impl Scheme for ByteScheme {
             block_start.push(start);
             let (s, e) = program.block_byte_range(b);
             for &byte in &code[s as usize..e as usize] {
-                book.encode_into(byte as u32, &mut w);
+                book.try_encode_into(byte as u32, &mut w)?;
             }
             let end = w.bit_len().div_ceil(8);
             block_bytes.push((end - start) as u32);

@@ -7,7 +7,7 @@
 //! best compression of the study (≈30% of original) at the price of the
 //! largest decoder — the tradeoff at the heart of Figures 5, 10 and 13.
 
-use super::{BlockCodec, CompressError, Scheme, SchemeOutput};
+use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::{Program, OP_BITS};
 use tinker_huffman::{
@@ -34,14 +34,31 @@ struct FullCodec {
 }
 
 impl BlockCodec for FullCodec {
-    fn decode_block(&self, image: &EncodedProgram, b: usize, num_ops: usize) -> Option<Vec<u64>> {
+    fn decode_block(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
         let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
         let mut out = Vec::with_capacity(num_ops);
         for _ in 0..num_ops {
             let sym = self.decoder.decode(&mut r)?;
-            out.push(self.values[sym as usize]);
+            let word = self
+                .values
+                .get(sym as usize)
+                .ok_or(BlockDecodeError::BadValue { field: "op symbol" })?;
+            out.push(*word);
         }
-        Some(out)
+        Ok(out)
+    }
+
+    fn dictionary_image(&self) -> Vec<u8> {
+        let mut img = self.decoder.table_image();
+        for v in &self.values {
+            img.extend_from_slice(&v.to_le_bytes());
+        }
+        img
     }
 }
 
@@ -66,8 +83,10 @@ impl Scheme for FullScheme {
             let start = w.bit_len() / 8;
             block_start.push(start);
             for op in program.block_ops(b) {
-                let sym = dict.id_of(&op.encode()).expect("recorded above");
-                book.encode_into(sym, &mut w);
+                let sym = dict.id_of(&op.encode()).ok_or(CompressError::Integrity {
+                    detail: "op word missing from dictionary built over the same program",
+                })?;
+                book.try_encode_into(sym, &mut w)?;
             }
             let end = w.bit_len().div_ceil(8);
             block_bytes.push((end - start) as u32);

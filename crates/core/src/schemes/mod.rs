@@ -13,8 +13,10 @@ pub mod stream;
 pub mod tailored;
 
 use crate::encoded::EncodedProgram;
+use crate::integrity::{crc32, IntegrityError};
 use std::fmt;
 use tepic_isa::Program;
+use tinker_huffman::DecodeError;
 
 /// Compression failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +28,10 @@ pub enum CompressError {
     /// A field value exceeded the tailored width computed for it — an
     /// internal invariant violation.
     TailoredOverflow { field: &'static str },
+    /// A symbol recorded during the frequency scan was missing from the
+    /// dictionary at encode time — the two passes disagree, so the
+    /// image's decode tables cannot be trusted.
+    Integrity { detail: &'static str },
 }
 
 impl fmt::Display for CompressError {
@@ -36,6 +42,9 @@ impl fmt::Display for CompressError {
             CompressError::TailoredOverflow { field } => {
                 write!(f, "tailored width overflow in field {field}")
             }
+            CompressError::Integrity { detail } => {
+                write!(f, "compression integrity violation: {detail}")
+            }
         }
     }
 }
@@ -45,6 +54,50 @@ impl std::error::Error for CompressError {}
 impl From<tinker_huffman::HuffmanError> for CompressError {
     fn from(e: tinker_huffman::HuffmanError) -> Self {
         CompressError::Huffman(e)
+    }
+}
+
+/// Why decoding one block of an encoded image failed. Errors never
+/// escape the block that raised them: every block starts byte-aligned,
+/// so the decoder resynchronizes at the next block boundary — the
+/// paper's atomic fetch unit is also the corruption-containment unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockDecodeError {
+    /// A Huffman codeword was corrupt or truncated.
+    Code(DecodeError),
+    /// Fixed-width fields ran past the end of the block's bytes.
+    Eos,
+    /// A decoded field value is outside its dense table (tailored) or
+    /// otherwise impossible.
+    BadValue { field: &'static str },
+    /// An integrity check rejected the block before decode.
+    Integrity(IntegrityError),
+}
+
+impl fmt::Display for BlockDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockDecodeError::Code(e) => write!(f, "corrupt codeword: {e}"),
+            BlockDecodeError::Eos => write!(f, "block ended mid-operation"),
+            BlockDecodeError::BadValue { field } => {
+                write!(f, "decoded value out of range for field {field}")
+            }
+            BlockDecodeError::Integrity(e) => write!(f, "integrity check failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BlockDecodeError {}
+
+impl From<DecodeError> for BlockDecodeError {
+    fn from(e: DecodeError) -> Self {
+        BlockDecodeError::Code(e)
+    }
+}
+
+impl From<IntegrityError> for BlockDecodeError {
+    fn from(e: IntegrityError) -> Self {
+        BlockDecodeError::Integrity(e)
     }
 }
 
@@ -73,19 +126,42 @@ impl SchemeOutput {
         for b in 0..program.num_blocks() {
             let expect: Vec<u64> = program.block_ops(b).iter().map(|o| o.encode()).collect();
             match self.codec.decode_block(&self.image, b, expect.len()) {
-                Some(words) if words == expect => {}
+                Ok(words) if words == expect => {}
                 _ => return false,
             }
         }
         true
+    }
+
+    /// CRC32 of the codec's serialized decode tables — recorded at
+    /// compression time, re-checked by the fetch path before trusting
+    /// the dictionary.
+    pub fn dictionary_crc(&self) -> u32 {
+        crc32(&self.codec.dictionary_image())
     }
 }
 
 /// Decoding interface over an [`EncodedProgram`].
 pub trait BlockCodec {
     /// Decodes block `b` (which holds `num_ops` operations) back to its
-    /// original 40-bit words. `None` on malformed input.
-    fn decode_block(&self, image: &EncodedProgram, b: usize, num_ops: usize) -> Option<Vec<u64>>;
+    /// original 40-bit words.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockDecodeError`] on corrupt or truncated input; the failure
+    /// is contained to this block (blocks decode independently from
+    /// byte-aligned starts).
+    fn decode_block(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+    ) -> Result<Vec<u64>, BlockDecodeError>;
+
+    /// Serializes the codec's decode tables (Huffman dictionaries,
+    /// dense renumberings) into a deterministic byte image, the unit the
+    /// dictionary CRC protects. Empty for codecs with no tables (Base).
+    fn dictionary_image(&self) -> Vec<u8>;
 }
 
 /// A compression scheme.

@@ -10,7 +10,7 @@
 //! roughly squares. The `ext_entropy_limit` experiment quantifies both
 //! sides.
 
-use super::{BlockCodec, CompressError, Scheme, SchemeOutput};
+use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::{Program, OP_BITS};
 use tinker_huffman::{
@@ -38,21 +38,57 @@ struct PairCodec {
 }
 
 impl BlockCodec for PairCodec {
-    fn decode_block(&self, image: &EncodedProgram, b: usize, num_ops: usize) -> Option<Vec<u64>> {
+    fn decode_block(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
         let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
         let mut out = Vec::with_capacity(num_ops);
         while out.len() + 1 < num_ops {
             let sym = self.pair_decoder.decode(&mut r)?;
-            let (a, c) = self.pair_values[sym as usize];
+            let (a, c) = *self
+                .pair_values
+                .get(sym as usize)
+                .ok_or(BlockDecodeError::BadValue {
+                    field: "pair symbol",
+                })?;
             out.push(a);
             out.push(c);
         }
         if out.len() < num_ops {
-            let dec = self.single_decoder.as_ref()?;
+            let dec = self
+                .single_decoder
+                .as_ref()
+                .ok_or(BlockDecodeError::BadValue {
+                    field: "singles table",
+                })?;
             let sym = dec.decode(&mut r)?;
-            out.push(self.single_values[sym as usize]);
+            let v = self
+                .single_values
+                .get(sym as usize)
+                .ok_or(BlockDecodeError::BadValue {
+                    field: "single symbol",
+                })?;
+            out.push(*v);
         }
-        Some(out)
+        Ok(out)
+    }
+
+    fn dictionary_image(&self) -> Vec<u8> {
+        let mut img = self.pair_decoder.table_image();
+        for (a, c) in &self.pair_values {
+            img.extend_from_slice(&a.to_le_bytes());
+            img.extend_from_slice(&c.to_le_bytes());
+        }
+        if let Some(dec) = &self.single_decoder {
+            img.extend_from_slice(&dec.table_image());
+            for v in &self.single_values {
+                img.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        img
     }
 }
 
@@ -100,13 +136,23 @@ impl Scheme for PairScheme {
             let words: Vec<u64> = program.block_ops(b).iter().map(|o| o.encode()).collect();
             let mut i = 0;
             while i + 1 < words.len() {
-                let sym = pairs.id_of(&(words[i], words[i + 1])).expect("recorded");
-                pair_book.encode_into(sym, &mut w);
+                let sym =
+                    pairs
+                        .id_of(&(words[i], words[i + 1]))
+                        .ok_or(CompressError::Integrity {
+                            detail: "op pair missing from dictionary",
+                        })?;
+                pair_book.try_encode_into(sym, &mut w)?;
                 i += 2;
             }
             if i < words.len() {
-                let book = single_book.as_ref().expect("odd block implies singles");
-                book.encode_into(singles.id_of(&words[i]).expect("recorded"), &mut w);
+                let book = single_book.as_ref().ok_or(CompressError::Integrity {
+                    detail: "odd-length block but no singles table",
+                })?;
+                let sym = singles.id_of(&words[i]).ok_or(CompressError::Integrity {
+                    detail: "trailing op missing from singles dictionary",
+                })?;
+                book.try_encode_into(sym, &mut w)?;
             }
             let end = w.bit_len().div_ceil(8);
             block_bytes.push((end - start) as u32);

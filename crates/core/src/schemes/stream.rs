@@ -14,7 +14,7 @@
 //! 20-bit halves → smallest code) called out by name as in Figure 5;
 //! `stream_explorer` in `ccc-bench` reproduces the selection.
 
-use super::{BlockCodec, CompressError, Scheme, SchemeOutput};
+use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::Program;
 use tinker_huffman::{
@@ -137,7 +137,12 @@ struct StreamCodec {
 }
 
 impl BlockCodec for StreamCodec {
-    fn decode_block(&self, image: &EncodedProgram, b: usize, num_ops: usize) -> Option<Vec<u64>> {
+    fn decode_block(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
         let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
         let mut out = Vec::with_capacity(num_ops);
         for _ in 0..num_ops {
@@ -145,11 +150,27 @@ impl BlockCodec for StreamCodec {
             for (si, dec) in self.decoders.iter().enumerate() {
                 let (off, _) = self.config.stream_bits(si);
                 let sym = dec.decode(&mut r)?;
-                word |= self.values[si][sym as usize] << off;
+                let v = self.values[si]
+                    .get(sym as usize)
+                    .ok_or(BlockDecodeError::BadValue {
+                        field: "stream symbol",
+                    })?;
+                word |= v << off;
             }
             out.push(word);
         }
-        Some(out)
+        Ok(out)
+    }
+
+    fn dictionary_image(&self) -> Vec<u8> {
+        let mut img = Vec::new();
+        for (si, dec) in self.decoders.iter().enumerate() {
+            img.extend_from_slice(&dec.table_image());
+            for v in &self.values[si] {
+                img.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        img
     }
 }
 
@@ -194,10 +215,13 @@ impl Scheme for StreamScheme {
                 let w = op.encode();
                 for (si, book) in books.iter().enumerate() {
                     let (off, width) = self.config.stream_bits(si);
-                    let sym = dicts[si]
-                        .id_of(&field(w, off, width))
-                        .expect("recorded above");
-                    book.encode_into(sym, &mut wtr);
+                    let sym =
+                        dicts[si]
+                            .id_of(&field(w, off, width))
+                            .ok_or(CompressError::Integrity {
+                                detail: "stream field missing from its dictionary",
+                            })?;
+                    book.try_encode_into(sym, &mut wtr)?;
                 }
             }
             let end = wtr.bit_len().div_ceil(8);

@@ -15,7 +15,7 @@
 //! directly; no Huffman stage exists. The decoder is a compiler-emitted
 //! PLA (see [`crate::pla`] for the cost model and Verilog generator).
 
-use super::{BlockCodec, CompressError, Scheme, SchemeOutput};
+use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
 use crate::encoded::{EncodedProgram, SchemeKind};
 use std::collections::HashMap;
 use tepic_isa::op::{Cond, FloatOpcode, IntOpcode, MemWidth, OpKind, Operation, SysCode};
@@ -387,21 +387,49 @@ impl TailoredSpec {
     }
 
     /// Decodes one tailored operation.
-    pub fn decode_op(&self, r: &mut BitReader<'_>) -> Option<Operation> {
-        let tail = r.read_bit()?;
-        let spec = if self.spec_used { r.read_bit()? } else { false };
-        let opsel = self.opsel.dec(r.read_bits(self.opsel.width())? as u32)?;
-        let pred = Pr::try_new(self.pr.dec(r.read_bits(self.pr.width())? as u32)? as u8)?;
+    ///
+    /// # Errors
+    ///
+    /// [`BlockDecodeError::Eos`] when the bits run out mid-operation,
+    /// [`BlockDecodeError::BadValue`] when a dense field code falls
+    /// outside its renumbering table (corrupt stream or tables).
+    pub fn decode_op(&self, r: &mut BitReader<'_>) -> Result<Operation, BlockDecodeError> {
+        fn bit(r: &mut BitReader<'_>) -> Result<bool, BlockDecodeError> {
+            r.read_bit().ok_or(BlockDecodeError::Eos)
+        }
+        fn bits(r: &mut BitReader<'_>, n: u32) -> Result<u64, BlockDecodeError> {
+            r.read_bits(n).ok_or(BlockDecodeError::Eos)
+        }
+        fn bad(field: &'static str) -> BlockDecodeError {
+            BlockDecodeError::BadValue { field }
+        }
+        let tail = bit(r)?;
+        let spec = if self.spec_used { bit(r)? } else { false };
+        let opsel = self
+            .opsel
+            .dec(bits(r, self.opsel.width())? as u32)
+            .ok_or(bad("opsel"))?;
+        let pred = self
+            .pr
+            .dec(bits(r, self.pr.width())? as u32)
+            .and_then(|v| Pr::try_new(v as u8))
+            .ok_or(bad("pred"))?;
         let gw = self.gpr.width();
         let fw = self.fpr.width();
         let (opt, opc) = (opsel / 32, opsel % 32);
         // Reconstruct via the original 40-bit pathway so opcode decoding
         // stays in one place: build the word header + fields.
-        let rg = |r: &mut BitReader<'_>| -> Option<Gpr> {
-            Gpr::try_new(self.gpr.dec(r.read_bits(gw)? as u32)? as u8)
+        let rg = |r: &mut BitReader<'_>| -> Result<Gpr, BlockDecodeError> {
+            self.gpr
+                .dec(bits(r, gw)? as u32)
+                .and_then(|v| Gpr::try_new(v as u8))
+                .ok_or(bad("gpr"))
         };
-        let rf = |r: &mut BitReader<'_>| -> Option<Fpr> {
-            Fpr::try_new(self.fpr.dec(r.read_bits(fw)? as u32)? as u8)
+        let rf = |r: &mut BitReader<'_>| -> Result<Fpr, BlockDecodeError> {
+            self.fpr
+                .dec(bits(r, fw)? as u32)
+                .and_then(|v| Fpr::try_new(v as u8))
+                .ok_or(bad("fpr"))
         };
         use tepic_isa::op::OpType;
         let optype = OpType::from_bits(opt as u64);
@@ -409,9 +437,16 @@ impl TailoredSpec {
             (OpType::Int, 16) => {
                 let src1 = rg(r)?;
                 let src2 = rg(r)?;
-                let cond =
-                    Cond::ALL[self.cond.dec(r.read_bits(self.cond.width())? as u32)? as usize];
-                let dest = Pr::try_new(self.pr.dec(r.read_bits(self.pr.width())? as u32)? as u8)?;
+                let cond = self
+                    .cond
+                    .dec(bits(r, self.cond.width())? as u32)
+                    .and_then(|v| Cond::ALL.get(v as usize).copied())
+                    .ok_or(bad("cond"))?;
+                let dest = self
+                    .pr
+                    .dec(bits(r, self.pr.width())? as u32)
+                    .and_then(|v| Pr::try_new(v as u8))
+                    .ok_or(bad("pred dest"))?;
                 OpKind::IntCmp {
                     cond,
                     src1,
@@ -420,7 +455,7 @@ impl TailoredSpec {
                 }
             }
             (OpType::Int, 17) | (OpType::Int, 18) => {
-                let raw = r.read_bits(self.imm_width)? as u32;
+                let raw = bits(r, self.imm_width)? as u32;
                 // Sign-extend from imm_width.
                 let shift = 32 - self.imm_width;
                 let imm = ((raw << shift) as i32) >> shift;
@@ -431,7 +466,7 @@ impl TailoredSpec {
                 }
             }
             (OpType::Int, c) => OpKind::IntAlu {
-                op: *IntOpcode::ALL.get(c as usize)?,
+                op: *IntOpcode::ALL.get(c as usize).ok_or(bad("int opcode"))?,
                 src1: rg(r)?,
                 src2: rg(r)?,
                 dest: rg(r)?,
@@ -439,9 +474,16 @@ impl TailoredSpec {
             (OpType::Float, 16) => {
                 let src1 = rf(r)?;
                 let src2 = rf(r)?;
-                let cond =
-                    Cond::ALL[self.cond.dec(r.read_bits(self.cond.width())? as u32)? as usize];
-                let dest = Pr::try_new(self.pr.dec(r.read_bits(self.pr.width())? as u32)? as u8)?;
+                let cond = self
+                    .cond
+                    .dec(bits(r, self.cond.width())? as u32)
+                    .and_then(|v| Cond::ALL.get(v as usize).copied())
+                    .ok_or(bad("cond"))?;
+                let dest = self
+                    .pr
+                    .dec(bits(r, self.pr.width())? as u32)
+                    .and_then(|v| Pr::try_new(v as u8))
+                    .ok_or(bad("pred dest"))?;
                 OpKind::FloatCmp {
                     cond,
                     src1,
@@ -458,15 +500,24 @@ impl TailoredSpec {
                 dest: rg(r)?,
             },
             (OpType::Float, c) => OpKind::Float {
-                op: *FloatOpcode::ALL.get(c as usize)?,
+                op: *FloatOpcode::ALL
+                    .get(c as usize)
+                    .ok_or(bad("float opcode"))?,
                 src1: rf(r)?,
                 src2: rf(r)?,
                 dest: rf(r)?,
             },
             (OpType::Mem, 0) => {
                 let base = rg(r)?;
-                let width = decode_mw(self.mw.dec(r.read_bits(self.mw.width())? as u32)?);
-                let lat = self.lat.dec(r.read_bits(self.lat.width())? as u32)? as u8;
+                let width = self
+                    .mw
+                    .dec(bits(r, self.mw.width())? as u32)
+                    .map(decode_mw)
+                    .ok_or(bad("mem width"))?;
+                let lat = self
+                    .lat
+                    .dec(bits(r, self.lat.width())? as u32)
+                    .ok_or(bad("load latency"))? as u8;
                 OpKind::Load {
                     width,
                     base,
@@ -476,7 +527,11 @@ impl TailoredSpec {
             }
             (OpType::Mem, 1) => {
                 let base = rg(r)?;
-                let width = decode_mw(self.mw.dec(r.read_bits(self.mw.width())? as u32)?);
+                let width = self
+                    .mw
+                    .dec(bits(r, self.mw.width())? as u32)
+                    .map(decode_mw)
+                    .ok_or(bad("mem width"))?;
                 OpKind::Store {
                     width,
                     base,
@@ -485,7 +540,10 @@ impl TailoredSpec {
             }
             (OpType::Mem, 2) => {
                 let base = rg(r)?;
-                let lat = self.lat.dec(r.read_bits(self.lat.width())? as u32)? as u8;
+                let lat = self
+                    .lat
+                    .dec(bits(r, self.lat.width())? as u32)
+                    .ok_or(bad("load latency"))? as u8;
                 OpKind::FLoad {
                     base,
                     lat,
@@ -497,30 +555,56 @@ impl TailoredSpec {
                 value: rf(r)?,
             },
             (OpType::Ctrl, 0) => OpKind::Branch {
-                target: r.read_bits(self.target_width)? as u16,
+                target: bits(r, self.target_width)? as u16,
             },
             (OpType::Ctrl, 1) => OpKind::Call {
-                target: r.read_bits(self.target_width)? as u16,
+                target: bits(r, self.target_width)? as u16,
                 link: rg(r)?,
             },
             (OpType::Ctrl, 2) => OpKind::Ret { src: rg(r)? },
             (OpType::Ctrl, 3) => OpKind::Halt,
             (OpType::Ctrl, 4) => {
-                let code = match self.sys.dec(r.read_bits(self.sys.width())? as u32)? {
-                    1 => SysCode::PrintInt,
-                    2 => SysCode::PrintChar,
-                    _ => return None,
+                let code = match self.sys.dec(bits(r, self.sys.width())? as u32) {
+                    Some(1) => SysCode::PrintInt,
+                    Some(2) => SysCode::PrintChar,
+                    _ => return Err(bad("sys code")),
                 };
                 OpKind::Sys { code, arg: rg(r)? }
             }
-            _ => return None,
+            _ => return Err(bad("opcode")),
         };
-        Some(Operation {
+        Ok(Operation {
             tail,
             spec,
             pred,
             kind,
         })
+    }
+
+    /// Serializes the spec's renumbering tables and field widths into a
+    /// deterministic byte image — the tailored decoder's "dictionary"
+    /// for integrity protection.
+    pub fn table_image(&self) -> Vec<u8> {
+        let mut img = Vec::new();
+        img.push(self.spec_used as u8);
+        img.extend_from_slice(&self.imm_width.to_le_bytes());
+        img.extend_from_slice(&self.target_width.to_le_bytes());
+        for remap in [
+            &self.opsel,
+            &self.gpr,
+            &self.fpr,
+            &self.pr,
+            &self.cond,
+            &self.mw,
+            &self.lat,
+            &self.sys,
+        ] {
+            img.extend_from_slice(&(remap.len() as u32).to_le_bytes());
+            for &v in remap.values() {
+                img.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        img
     }
 }
 
@@ -542,13 +626,22 @@ struct TailoredCodec {
 }
 
 impl BlockCodec for TailoredCodec {
-    fn decode_block(&self, image: &EncodedProgram, b: usize, num_ops: usize) -> Option<Vec<u64>> {
+    fn decode_block(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
         let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
         let mut out = Vec::with_capacity(num_ops);
         for _ in 0..num_ops {
             out.push(self.spec.decode_op(&mut r)?.encode());
         }
-        Some(out)
+        Ok(out)
+    }
+
+    fn dictionary_image(&self) -> Vec<u8> {
+        self.spec.table_image()
     }
 }
 

@@ -641,8 +641,17 @@ mod vliw_semantics_tests {
         let mops = ops.iter().filter(|o| o.tail).count();
         Program::new(
             ops,
-            vec![BlockInfo { first_op: 0, num_ops: n, num_mops: mops, func: 0 }],
-            vec![FuncInfo { name: "main".into(), first_block: 0, num_blocks: 1 }],
+            vec![BlockInfo {
+                first_op: 0,
+                num_ops: n,
+                num_mops: mops,
+                func: 0,
+            }],
+            vec![FuncInfo {
+                name: "main".into(),
+                first_block: 0,
+                num_blocks: 1,
+            }],
             0,
             vec![],
             0x1_0000,
@@ -655,7 +664,11 @@ mod vliw_semantics_tests {
             tail,
             spec: false,
             pred: Pr::P0,
-            kind: OpKind::LoadImm { high: false, imm, dest: Gpr::new(dest) },
+            kind: OpKind::LoadImm {
+                high: false,
+                imm,
+                dest: Gpr::new(dest),
+            },
         }
     }
 
@@ -686,7 +699,12 @@ mod vliw_semantics_tests {
     }
 
     fn halt() -> Operation {
-        Operation { tail: true, spec: false, pred: Pr::P0, kind: OpKind::Halt }
+        Operation {
+            tail: true,
+            spec: false,
+            pred: Pr::P0,
+            kind: OpKind::Halt,
+        }
     }
 
     #[test]
@@ -720,7 +738,11 @@ mod vliw_semantics_tests {
             tail: true,
             spec: false,
             pred: Pr::new(1),
-            kind: OpKind::LoadImm { high: false, imm: 42, dest: Gpr::new(8) },
+            kind: OpKind::LoadImm {
+                high: false,
+                imm: 42,
+                dest: Gpr::new(8),
+            },
         };
         let p = prog(vec![ldi(true, 8, 7), guarded, sys_print(true, 8), halt()]);
         let r = Emulator::new(&p).run(&Limits::default()).unwrap();

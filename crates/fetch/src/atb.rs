@@ -153,12 +153,7 @@ mod tests {
     use super::*;
 
     fn att() -> AttEntry {
-        AttEntry {
-            compressed_addr: 0,
-            block_bytes: 10,
-            num_mops: 2,
-            num_ops: 4,
-        }
+        AttEntry::new(0, 10, 2, 4, 0)
     }
 
     #[test]

@@ -173,6 +173,11 @@ pub struct FetchResult {
     pub bus_beats: u64,
     /// Memory-bus bit flips (the Figure-14 power proxy).
     pub bus_bit_flips: u64,
+    /// Integrity-check failures observed on the fetch path: ATT entries
+    /// failing their CRC-8 self-check when the ATB loads them, and block
+    /// payloads failing parity when their lines arrive from memory. Zero
+    /// on an uncorrupted image.
+    pub integrity_faults: u64,
 }
 
 impl FetchResult {
@@ -217,7 +222,9 @@ impl FetchResult {
 }
 
 /// Runs one configuration over a program, its encoded image and its
-/// dynamic trace.
+/// dynamic trace. The ATT is built from the image as given — for fault
+/// studies where the ROM image may differ from what the compiler saw,
+/// use [`simulate_with_att`] with the compile-time table.
 pub fn simulate(
     program: &Program,
     image: &EncodedProgram,
@@ -225,6 +232,20 @@ pub fn simulate(
     config: &FetchConfig,
 ) -> FetchResult {
     let att = AddressTranslationTable::build(program, image);
+    simulate_with_att(program, image, &att, trace, config)
+}
+
+/// [`simulate`] with an explicit Address Translation Table. The table
+/// carries the integrity metadata (per-block parity, entry CRC-8) the
+/// compiler recorded; passing the clean-build table against a corrupted
+/// `image` is how fault-injection studies observe `integrity_faults`.
+pub fn simulate_with_att(
+    program: &Program,
+    image: &EncodedProgram,
+    att: &AddressTranslationTable,
+    trace: &BlockTrace,
+    config: &FetchConfig,
+) -> FetchResult {
     let mut atb = Atb::new(config.atb_entries);
     let mut gshare = match config.predictor {
         PredictorKind::Gshare { history_bits } => Some(Gshare::new(history_bits)),
@@ -254,6 +275,7 @@ pub fn simulate(
         atb_misses: 0,
         bus_beats: 0,
         bus_bit_flips: 0,
+        integrity_faults: 0,
     };
 
     // What the previous block's predictor said the current block would be
@@ -279,9 +301,15 @@ pub fn simulate(
             }
         }
 
-        let atb_hit = atb.access(cur, att.lookup(cur as usize));
+        let entry = att.lookup(cur as usize);
+        let atb_hit = atb.access(cur, entry);
         if translated && !atb_hit {
             r.cycles += config.atb_miss_penalty as u64;
+            // The entry just arrived from code memory: run its CRC-8
+            // self-check before letting it steer the fetch.
+            if !entry.self_check() {
+                r.integrity_faults += 1;
+            }
         }
 
         let (start, end) = image.block_range(cur as usize);
@@ -296,6 +324,14 @@ pub fn simulate(
             let access = cache.access_block(start, end);
             for &l in &access.fetched_lines {
                 bus.transfer_line(&image.bytes, l, config.cache.line_bytes);
+            }
+            // Lines came in from ROM: check the block payload against
+            // the parity recorded in its ATT entry.
+            if translated
+                && !access.hit
+                && !entry.verify_payload(&image.bytes[start as usize..end as usize])
+            {
+                r.integrity_faults += 1;
             }
             access.hit
         };
@@ -501,6 +537,65 @@ mod tests {
             &FetchConfig::compressed(),
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clean_image_reports_no_integrity_faults() {
+        let s = loopy();
+        for (img, cfg) in [
+            (&s.base_img, FetchConfig::base()),
+            (&s.tail_img, FetchConfig::tailored()),
+            (&s.comp_img, FetchConfig::compressed()),
+        ] {
+            let r = simulate(&s.program, img, &s.trace, &cfg);
+            assert_eq!(r.integrity_faults, 0, "{:?}", cfg.class);
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_is_caught_by_parity() {
+        let s = loopy();
+        // The compiler recorded parity over the clean image; the ROM
+        // then corrupts one bit of the hottest block's payload.
+        let att = AddressTranslationTable::build(&s.program, &s.comp_img);
+        let hot = s.trace.transitions().next().unwrap().0 as usize;
+        let (start, _) = s.comp_img.block_range(hot);
+        let mut bad = s.comp_img.clone();
+        bad.bytes[start as usize] ^= 0x40;
+        let r = simulate_with_att(&s.program, &bad, &att, &s.trace, &FetchConfig::compressed());
+        assert!(
+            r.integrity_faults > 0,
+            "flipped payload bit must fail parity on the miss path"
+        );
+        // The clean image against its own table stays silent.
+        let ok = simulate_with_att(
+            &s.program,
+            &s.comp_img,
+            &att,
+            &s.trace,
+            &FetchConfig::compressed(),
+        );
+        assert_eq!(ok.integrity_faults, 0);
+    }
+
+    #[test]
+    fn corrupted_att_entry_fails_self_check_on_load() {
+        let s = loopy();
+        let mut att = AddressTranslationTable::build(&s.program, &s.comp_img);
+        let hot = s.trace.transitions().next().unwrap().0 as usize;
+        // Corrupt the stored entry without refreshing its CRC-8.
+        att.entries_mut()[hot].num_mops ^= 1;
+        let r = simulate_with_att(
+            &s.program,
+            &s.comp_img,
+            &att,
+            &s.trace,
+            &FetchConfig::compressed(),
+        );
+        assert!(
+            r.integrity_faults > 0,
+            "corrupt entry must fail its self-check when the ATB loads it"
+        );
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub mod penalty;
 pub mod power;
 pub mod units;
 
-pub use engine::{simulate, EncodingClass, FetchConfig, FetchResult, PredictorKind};
+pub use engine::{
+    simulate, simulate_with_att, EncodingClass, FetchConfig, FetchResult, PredictorKind,
+};
 pub use penalty::{Outcome, Penalty, PenaltyTable};
 pub use units::{simulate_with_units, FetchUnits};

@@ -147,6 +147,7 @@ pub fn simulate_with_units(
         atb_misses: 0,
         bus_beats: 0,
         bus_bit_flips: 0,
+        integrity_faults: 0,
     };
 
     let blocks = trace.blocks();

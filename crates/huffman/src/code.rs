@@ -78,8 +78,10 @@ impl CodeBook {
     }
 
     /// Builds the canonical code from externally computed lengths
-    /// (length 0 = uncoded symbol).
-    pub(crate) fn from_lengths(lengths: Vec<u8>) -> CodeBook {
+    /// (length 0 = uncoded symbol). Public so fault-injection tests can
+    /// construct deliberately incomplete books; normal construction goes
+    /// through [`CodeBook::from_freqs`] / [`CodeBook::bounded_from_freqs`].
+    pub fn from_lengths(lengths: Vec<u8>) -> CodeBook {
         let max_len = lengths.iter().copied().max().unwrap_or(0);
         // Canonical assignment: sort coded symbols by (length, symbol).
         let mut order: Vec<u32> = (0..lengths.len() as u32)

@@ -4,9 +4,59 @@
 //! `first_index` tables over the canonical code space. Decoding consumes
 //! one bit at a time, exactly like the paper's Huffman-tree hardware
 //! (Figure 9) walks one level per multiplexer row.
+//!
+//! Decoding is fallible with a typed [`DecodeError`]: embedded ROMs see
+//! real bit errors, and a corrupted stream must be distinguishable from
+//! a legitimately exhausted one. `UnexpectedEos` means the stream ran
+//! out mid-symbol; `InvalidCode` means the accumulated prefix can no
+//! longer match any code in the book (detected at the earliest possible
+//! bit); `LengthOverflow` means `max_len` bits were consumed without a
+//! match — unreachable for complete canonical books, kept as a safety
+//! net for hand-built tables.
 
 use crate::bitio::BitReader;
 use crate::code::CodeBook;
+use std::fmt;
+
+/// Why canonical decoding failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The bit stream ended in the middle of a codeword.
+    UnexpectedEos {
+        /// Bit position where the stream ran out.
+        at_bit: u64,
+    },
+    /// The accumulated prefix exceeds every code in the book; no
+    /// continuation can produce a valid symbol.
+    InvalidCode {
+        /// Bit position just past the offending bit.
+        at_bit: u64,
+    },
+    /// `max_len` bits were read without reaching a code. Unreachable
+    /// for complete canonical books; guards incomplete tables.
+    LengthOverflow {
+        /// Bit position after the final bit examined.
+        at_bit: u64,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEos { at_bit } => {
+                write!(f, "bit stream ended mid-codeword at bit {at_bit}")
+            }
+            DecodeError::InvalidCode { at_bit } => {
+                write!(f, "invalid Huffman code detected at bit {at_bit}")
+            }
+            DecodeError::LengthOverflow { at_bit } => {
+                write!(f, "no code matched within max length at bit {at_bit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 /// A canonical Huffman decoder built from a [`CodeBook`].
 #[derive(Debug, Clone)]
@@ -19,6 +69,9 @@ pub struct CanonicalDecoder {
     count: Vec<usize>,
     /// Symbols in canonical order.
     symbols: Vec<u32>,
+    /// `last_code[l]` = value of the deepest code, right-shifted to
+    /// length l: a prefix of length l that exceeds this can never match.
+    last_code: Vec<u64>,
     max_len: u8,
 }
 
@@ -45,40 +98,62 @@ impl CanonicalDecoder {
             code += count[l] as u64;
             index += count[l];
         }
+        // Deepest nonempty level and its last code value, projected up
+        // to every shallower length for early invalid-prefix detection.
+        let mut last_code = vec![0u64; max_len as usize + 1];
+        let deepest = (1..=max_len as usize).rev().find(|&l| count[l] > 0);
+        if let Some(j) = deepest {
+            let last = first_code[j] + count[j] as u64 - 1;
+            for (l, slot) in last_code.iter_mut().enumerate().skip(1) {
+                *slot = if l <= j { last >> (j - l) } else { u64::MAX };
+            }
+        }
         CanonicalDecoder {
             first_code,
             first_index,
             count,
             symbols,
+            last_code,
             max_len,
         }
     }
 
-    /// Decodes one symbol from the reader; `None` on end-of-stream or a
-    /// code not in the book.
-    pub fn decode(&self, r: &mut BitReader<'_>) -> Option<u32> {
+    /// Decodes one symbol from the reader.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, DecodeError> {
         let mut code = 0u64;
         for l in 1..=self.max_len as usize {
-            code = (code << 1) | r.read_bit()? as u64;
+            let bit = r.read_bit().ok_or(DecodeError::UnexpectedEos {
+                at_bit: r.bit_pos(),
+            })? as u64;
+            code = (code << 1) | bit;
             if self.count[l] > 0 {
                 let offset = code.wrapping_sub(self.first_code[l]);
                 if code >= self.first_code[l] && (offset as usize) < self.count[l] {
-                    return Some(self.symbols[self.first_index[l] + offset as usize]);
+                    return Ok(self.symbols[self.first_index[l] + offset as usize]);
                 }
             }
+            // A prefix beyond the projection of the deepest last code
+            // cannot be extended into any valid codeword: fail now
+            // instead of consuming the rest of the block.
+            if code > self.last_code[l] {
+                return Err(DecodeError::InvalidCode {
+                    at_bit: r.bit_pos(),
+                });
+            }
         }
-        None
+        Err(DecodeError::LengthOverflow {
+            at_bit: r.bit_pos(),
+        })
     }
 
-    /// Decodes exactly `n` symbols.
-    ///
-    /// Returns `None` if the stream ends early or contains an invalid code.
-    pub fn decode_n(&self, r: &mut BitReader<'_>, n: usize) -> Option<Vec<u32>> {
+    /// Decodes exactly `n` symbols, failing on the first corrupt or
+    /// truncated codeword.
+    pub fn decode_n(&self, r: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>, DecodeError> {
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(self.decode(r)?);
         }
-        Some(out)
+        Ok(out)
     }
 
     /// Longest code length this decoder handles (`n` in the paper's
@@ -90,6 +165,25 @@ impl CanonicalDecoder {
     /// Dictionary size (`k` in the paper's complexity model).
     pub fn dictionary_size(&self) -> usize {
         self.symbols.len()
+    }
+
+    /// Serializes the decode tables to bytes for integrity checking.
+    ///
+    /// The layout is deterministic (lengths then symbols, little
+    /// endian), so equal decoders produce equal images and any bit
+    /// difference in the tables changes the image.
+    pub fn table_image(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(self.max_len);
+        for l in 0..=self.max_len as usize {
+            out.extend_from_slice(&(self.count[l] as u32).to_le_bytes());
+            out.extend_from_slice(&self.first_code[l].to_le_bytes());
+            out.extend_from_slice(&(self.first_index[l] as u32).to_le_bytes());
+        }
+        for &s in &self.symbols {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        out
     }
 }
 
@@ -144,7 +238,7 @@ mod tests {
     }
 
     #[test]
-    fn truncated_stream_returns_none() {
+    fn truncated_stream_is_unexpected_eos() {
         let book = CodeBook::from_freqs(&[1, 1, 1, 1]).unwrap();
         let dec = book.decoder();
         // One symbol needs 2 bits; give it only 1 byte = 4 symbols max,
@@ -155,7 +249,55 @@ mod tests {
         }
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
-        assert!(dec.decode_n(&mut r, 5).is_none());
+        assert!(matches!(
+            dec.decode_n(&mut r, 5),
+            Err(DecodeError::UnexpectedEos { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_stream_is_unexpected_eos() {
+        let book = CodeBook::from_freqs(&[3, 2, 1]).unwrap();
+        let dec = book.decoder();
+        let mut r = BitReader::new(&[]);
+        assert_eq!(
+            dec.decode(&mut r),
+            Err(DecodeError::UnexpectedEos { at_bit: 0 })
+        );
+    }
+
+    #[test]
+    fn invalid_prefix_detected_early() {
+        // Lengths {1, 2, 2} leave no length-3 codes: a skewed book where
+        // a sufficiently large prefix can never resolve.
+        let book = CodeBook::from_freqs(&[4, 1, 1]).unwrap();
+        let dec = book.decoder();
+        // All-ones forever would decode the deepest code repeatedly;
+        // instead build a book with a hole: lengths {1,3,3} is not
+        // canonical-complete, so exercise via an incomplete stream of a
+        // deep book: prefix 11 when the deepest code is 10 (len 2).
+        // from_freqs(&[4,1,1]) gives codes 0, 10, 11 — complete, so any
+        // prefix resolves. Use a bounded book with an uncoded tail
+        // instead: freqs [8, 4, 2, 1, 0] → lengths 1,2,3,3 (complete).
+        // Canonical Huffman books over all-coded alphabets are always
+        // complete, so InvalidCode requires corrupt *tables* or a
+        // truncated symbol set. Emulate by decoding with a decoder whose
+        // book is missing the deep half: symbols {0,1} of a 3-symbol
+        // book, i.e. a book built from lengths directly.
+        let partial = CodeBook::from_lengths(vec![1, 2, 0]);
+        let pdec = partial.decoder();
+        // Code space: 0 (len 1), 10 (len 2); prefix 11 is invalid.
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert!(matches!(
+            pdec.decode(&mut r),
+            Err(DecodeError::InvalidCode { at_bit: 2 })
+        ));
+        // The complete book still decodes the same stream fine.
+        let mut r2 = BitReader::new(&bytes);
+        assert_eq!(dec.decode(&mut r2), Ok(2));
     }
 
     #[test]
@@ -165,5 +307,15 @@ mod tests {
         let dec = book.decoder();
         assert_eq!(dec.dictionary_size(), 4);
         assert_eq!(dec.max_len(), book.max_len());
+    }
+
+    #[test]
+    fn table_image_is_deterministic_and_sensitive() {
+        let book = CodeBook::from_freqs(&[9, 4, 2, 1]).unwrap();
+        let a = book.decoder().table_image();
+        let b = book.decoder().table_image();
+        assert_eq!(a, b);
+        let other = CodeBook::from_freqs(&[1, 1, 1, 1]).unwrap();
+        assert_ne!(a, other.decoder().table_image());
     }
 }

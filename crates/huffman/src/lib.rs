@@ -27,8 +27,8 @@
 //! let bytes = w.into_bytes();
 //! let decoder = book.decoder();
 //! let mut r = BitReader::new(&bytes);
-//! assert_eq!(decoder.decode(&mut r), Some(0));
-//! assert_eq!(decoder.decode(&mut r), Some(1));
+//! assert_eq!(decoder.decode(&mut r), Ok(0));
+//! assert_eq!(decoder.decode(&mut r), Ok(1));
 //! # Ok(())
 //! # }
 //! ```
@@ -43,7 +43,7 @@ pub mod dict;
 pub use bitio::{BitReader, BitWriter};
 pub use code::{CodeBook, HuffmanError};
 pub use complexity::{decoder_transistors, DecoderComplexity};
-pub use decode::CanonicalDecoder;
+pub use decode::{CanonicalDecoder, DecodeError};
 pub use dict::Dictionary;
 
 /// Shannon entropy of a frequency distribution, in bits per symbol.

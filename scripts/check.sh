@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# The full local gate: everything CI runs, in the same order.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

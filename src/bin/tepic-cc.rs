@@ -7,10 +7,12 @@
 //! tepic-cc verilog <file.tink>        emit the tailored-decoder Verilog
 //! tepic-cc sim <file.tink>            fetch-pipeline study (Fig 13 row)
 //! tepic-cc stats <file.tink>          static + dynamic statistics
+//! tepic-cc faultsim <file.tink>       fault-injection campaign over all schemes
 //! ```
 //!
 //! With `-` as the file, source is read from stdin. `--no-opt` disables
-//! the optimizer.
+//! the optimizer. `--seed <u64>` sets the fault-campaign PRNG seed
+//! (default 42); equal seeds reproduce campaigns bit-for-bit.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -19,7 +21,10 @@ use tepic_ccc::ccc::schemes::tailored::TailoredSpec;
 use tepic_ccc::prelude::*;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: tepic-cc <run|disasm|report|verilog|sim|stats> <file.tink|-> [--no-opt]");
+    eprintln!(
+        "usage: tepic-cc <run|disasm|report|verilog|sim|stats|faultsim> <file.tink|-> \
+         [--no-opt] [--seed <u64>]"
+    );
     ExitCode::from(2)
 }
 
@@ -30,6 +35,20 @@ fn main() -> ExitCode {
         _ => return usage(),
     };
     let optimize = !args.iter().any(|a| a == "--no-opt");
+    let seed = match args.iter().position(|a| a == "--seed") {
+        None => 42u64,
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<u64>()) {
+            Some(Ok(s)) => s,
+            Some(Err(_)) => {
+                eprintln!("tepic-cc: --seed wants an unsigned 64-bit integer");
+                return ExitCode::from(2);
+            }
+            None => {
+                eprintln!("tepic-cc: --seed needs a value");
+                return ExitCode::from(2);
+            }
+        },
+    };
 
     let source = if file == "-" {
         let mut s = String::new();
@@ -121,6 +140,14 @@ fn main() -> ExitCode {
                     r.bus_bit_flips
                 );
             }
+            ExitCode::SUCCESS
+        }
+        "faultsim" => {
+            let cfg = CampaignConfig {
+                seed,
+                ..CampaignConfig::default()
+            };
+            print!("{}", run_campaign(&program, &cfg).render());
             ExitCode::SUCCESS
         }
         "stats" => {

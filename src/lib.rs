@@ -47,6 +47,7 @@ pub use yula;
 /// Convenient top-level imports for examples and downstream users.
 pub mod prelude {
     pub use ccc_core::{
+        fault::{run_campaign, CampaignConfig, CampaignReport},
         schemes::{self, Scheme},
         AddressTranslationTable, CompressionReport, EncodedProgram,
     };

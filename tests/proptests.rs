@@ -236,7 +236,7 @@ proptest! {
         let bytes = w.into_bytes();
         let dec = book.decoder();
         let mut r = BitReader::new(&bytes);
-        prop_assert_eq!(dec.decode_n(&mut r, msg.len()), Some(msg));
+        prop_assert_eq!(dec.decode_n(&mut r, msg.len()), Ok(msg));
     }
 
     /// Bounded Huffman: the length bound holds and total size is within
@@ -274,6 +274,48 @@ proptest! {
         let spec = tepic_ccc::ccc::schemes::tailored::TailoredSpec::compute(&p);
         for op in p.ops() {
             prop_assert!(spec.op_bits(op) <= 40);
+        }
+    }
+
+    /// Flipping any single payload bit either raises a decoder error or
+    /// corrupts only the block containing the flipped bit — the blocks
+    /// are byte-aligned, independently decodable atomic fetch units, so
+    /// corruption can never cascade past a block boundary.
+    #[test]
+    fn single_bit_flip_is_detected_or_contained(p in small_program(), pick in any::<u64>()) {
+        for scheme in standard_schemes() {
+            let out = scheme.compress(&p).unwrap();
+            let mut bytes = out.image.bytes.clone();
+            prop_assume!(!bytes.is_empty());
+            let bit = pick % (bytes.len() as u64 * 8);
+            bytes[(bit / 8) as usize] ^= 0x80u8 >> (bit % 8);
+            let mut image = out.image.clone();
+            image.bytes = bytes;
+            // The faulted block: the last whose used range covers the byte.
+            let byte = bit / 8;
+            let faulted = (0..p.num_blocks())
+                .rev()
+                .find(|&b| {
+                    let (s, e) = image.block_range(b);
+                    s <= byte && (byte < e || b + 1 == p.num_blocks())
+                })
+                .unwrap_or(0);
+            for b in 0..p.num_blocks() {
+                match out.codec.decode_block(&image, b, p.blocks()[b].num_ops) {
+                    Err(_) => {} // detected: fine anywhere
+                    Ok(words) => {
+                        if b != faulted {
+                            let want: Vec<u64> =
+                                p.block_ops(b).iter().map(|o| o.encode()).collect();
+                            prop_assert_eq!(
+                                words, want,
+                                "{}: flip in block {} corrupted block {}",
+                                scheme.name(), faulted, b
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -407,7 +449,11 @@ impl VarProgram {
             s.push_str(&format!("    var v{i} = {};\n", i + 1));
         }
         for &(d, op, a, b, lit) in &self.steps {
-            let rhs = if op % 2 == 0 { format!("v{b}") } else { format!("({lit})") };
+            let rhs = if op % 2 == 0 {
+                format!("v{b}")
+            } else {
+                format!("({lit})")
+            };
             let sym = match op / 2 {
                 0 => "+",
                 1 => "-",
@@ -431,7 +477,11 @@ fn var_program() -> impl Strategy<Value = VarProgram> {
             ),
             0..nvars,
         )
-            .prop_map(move |(steps, print_var)| VarProgram { nvars, steps, print_var })
+            .prop_map(move |(steps, print_var)| VarProgram {
+                nvars,
+                steps,
+                print_var,
+            })
     })
 }
 
@@ -459,14 +509,17 @@ proptest! {
     }
 }
 
+/// One conditional assignment arm: (dst, src, literal).
+type BranchArm = (usize, usize, i32);
+
 /// Random branchy programs: chains of if/else over mutable variables,
 /// checked against a host interpreter — exercises compare lowering,
 /// predicate allocation and block layout.
 #[derive(Debug, Clone)]
 struct BranchyProgram {
     nvars: usize,
-    /// (cond_a, cond_b, cond_kind, then: (dst,src,lit), else: (dst,src,lit))
-    steps: Vec<(usize, usize, u8, (usize, usize, i32), (usize, usize, i32))>,
+    /// (cond_a, cond_b, cond_kind, then arm, else arm)
+    steps: Vec<(usize, usize, u8, BranchArm, BranchArm)>,
     print_var: usize,
 }
 
@@ -495,7 +548,10 @@ impl BranchyProgram {
     fn to_tink(&self) -> String {
         let mut s = String::from("fn main() {\n");
         for i in 0..self.nvars {
-            s.push_str(&format!("    var v{i} = {};\n", (i as i32).wrapping_mul(7) - 3));
+            s.push_str(&format!(
+                "    var v{i} = {};\n",
+                (i as i32).wrapping_mul(7) - 3
+            ));
         }
         for &(a, b, k, (td, ts, tl), (ed, es, el)) in &self.steps {
             let op = match k % 4 {
@@ -528,7 +584,11 @@ fn branchy_program() -> impl Strategy<Value = BranchyProgram> {
             ),
             0..nvars,
         )
-            .prop_map(move |(steps, print_var)| BranchyProgram { nvars, steps, print_var })
+            .prop_map(move |(steps, print_var)| BranchyProgram {
+                nvars,
+                steps,
+                print_var,
+            })
     })
 }
 
