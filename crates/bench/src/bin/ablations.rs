@@ -9,141 +9,12 @@
 //!
 //! Each table averages over all eight workloads.
 
-use ccc_bench::{mean, prepare_all, render_table};
-use ccc_core::schemes::Scheme;
-use ifetch_sim::{simulate, EncodingClass, FetchConfig};
+use ccc_bench::engine::Engine;
 
 fn main() {
-    let prepared = prepare_all();
-
-    // --- 1. L0 buffer capacity (compressed encoding) -------------------
-    println!("Ablation 1: L0 decompression-buffer capacity (compressed encoding, scaled caches)\n");
-    let mut rows = Vec::new();
-    for l0 in [0u32, 8, 16, 32, 64, 128] {
-        let mut ipcs = Vec::new();
-        let mut hit = Vec::new();
-        for p in &prepared {
-            let mut cfg = FetchConfig::scaled(EncodingClass::Compressed, p.base_img.total_bytes());
-            cfg.l0_ops = l0.max(1);
-            if l0 == 0 {
-                // Capacity 1 op: effectively no buffer.
-                cfg.l0_ops = 1;
-            }
-            let r = simulate(&p.program, &p.compressed_img, &p.trace, &cfg);
-            ipcs.push(r.ipc());
-            let t = r.buffer_hits + r.buffer_misses;
-            hit.push(if t == 0 {
-                0.0
-            } else {
-                r.buffer_hits as f64 / t as f64
-            });
-        }
-        rows.push(vec![
-            if l0 == 0 {
-                "none".to_string()
-            } else {
-                format!("{l0} ops")
-            },
-            format!("{:.3}", mean(&ipcs)),
-            format!("{:.1}%", mean(&hit) * 100.0),
-        ]);
-    }
-    print!(
-        "{}",
-        render_table(&["L0 size", "mean IPC", "L0 hit rate"], &rows)
-    );
-    println!("(The paper fixes 32 ops: \"tight, frequently executed loops fit completely\".)\n");
-
-    // --- 2. Huffman length bound (byte scheme, where it binds) ----------
-    println!("Ablation 2: Huffman length bound — byte scheme (code size vs decoder size)\n");
-    let mut rows = Vec::new();
-    for bound in [8u8, 9, 10, 12, 14, 16] {
-        let mut ratio = Vec::new();
-        let mut decoder = Vec::new();
-        let mut ok = true;
-        for p in &prepared {
-            match (ccc_core::schemes::byte::ByteScheme {
-                max_code_len: bound,
-            })
-            .compress(&p.program)
-            {
-                Ok(out) => {
-                    ratio.push(out.image.ratio(p.program.code_size()));
-                    decoder.push(out.image.decoder.transistors() as f64);
-                }
-                Err(_) => ok = false,
-            }
-        }
-        if !ok {
-            rows.push(vec![
-                format!("{bound}"),
-                "bound too tight".into(),
-                String::new(),
-            ]);
-            continue;
-        }
-        rows.push(vec![
-            format!("{bound}"),
-            format!("{:.2}%", mean(&ratio) * 100.0),
-            format!("{:.0}", mean(&decoder)),
-        ]);
-    }
-    print!(
-        "{}",
-        render_table(&["max code bits", "mean code %", "mean decoder T"], &rows)
-    );
-    println!("(Tighter bounds barely cost code size but shrink the worst-case tree — the");
-    println!(" §2.2 bounded-Huffman rationale. The Full scheme's natural max length sits");
-    println!(" below every practical bound at this dictionary scale, so the bound only");
-    println!(" binds for the byte alphabet.)\n");
-
-    // --- 3. ATB capacity ------------------------------------------------
-    println!("Ablation 3: ATB capacity (tailored encoding, scaled caches)\n");
-    let mut rows = Vec::new();
-    for entries in [2usize, 4, 8, 16, 32, 64, 128] {
-        let mut ipcs = Vec::new();
-        let mut hits = Vec::new();
-        for p in &prepared {
-            let mut cfg = FetchConfig::scaled(EncodingClass::Tailored, p.base_img.total_bytes());
-            cfg.atb_entries = entries;
-            let r = simulate(&p.program, &p.tailored_img, &p.trace, &cfg);
-            ipcs.push(r.ipc());
-            hits.push(r.atb_hit_rate());
-        }
-        rows.push(vec![
-            format!("{entries}"),
-            format!("{:.3}", mean(&ipcs)),
-            format!("{:.1}%", mean(&hits) * 100.0),
-        ]);
-    }
-    print!(
-        "{}",
-        render_table(&["ATB entries", "mean IPC", "ATB hit rate"], &rows)
-    );
-    println!("(Past a few dozen entries the ATB stops mattering — §3.3's low contention.)\n");
-
-    // --- 4. Cache associativity -----------------------------------------
-    println!("Ablation 4: ICache associativity (base encoding, scaled capacity)\n");
-    let mut rows = Vec::new();
-    for ways in [1usize, 2, 4, 8] {
-        let mut ipcs = Vec::new();
-        let mut hits = Vec::new();
-        for p in &prepared {
-            let mut cfg = FetchConfig::scaled(EncodingClass::Base, p.base_img.total_bytes());
-            cfg.cache.ways = ways;
-            let r = simulate(&p.program, &p.base_img, &p.trace, &cfg);
-            ipcs.push(r.ipc());
-            hits.push(r.cache_hit_rate());
-        }
-        rows.push(vec![
-            format!("{ways}-way"),
-            format!("{:.3}", mean(&ipcs)),
-            format!("{:.1}%", mean(&hits) * 100.0),
-        ]);
-    }
-    print!(
-        "{}",
-        render_table(&["assoc", "mean IPC", "I$ hit rate"], &rows)
-    );
-    println!("(The paper's 2-way choice sits at the knee.)");
+    let prepared = Engine::from_env().prepare_all().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    print!("{}", ccc_bench::figures::ablations(&prepared));
 }

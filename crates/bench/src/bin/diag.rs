@@ -1,40 +1,12 @@
 //! Workload inventory: static/dynamic sizes, trace shape and operation
 //! mix for every benchmark (sanity data behind the figure experiments).
 
-use yula::{OpCategory, OpMix};
+use ccc_bench::engine::Engine;
 
 fn main() {
-    println!(
-        "{:<10} {:>7} {:>6} {:>10} {:>9} {:>8} {:>6}",
-        "workload", "st.ops", "blocks", "dyn.ops", "dyn.blks", "density", "taken"
-    );
-    for w in &tinker_workloads::ALL {
-        let (p, r) = w.compile_and_run().unwrap();
-        println!(
-            "{:<10} {:>7} {:>6} {:>10} {:>9} {:>8.2} {:>6.2}",
-            w.name,
-            p.num_ops(),
-            p.num_blocks(),
-            r.stats.ops,
-            r.stats.blocks,
-            r.stats.avg_mop_density(),
-            r.stats.taken_fraction
-        );
-    }
-
-    println!("\nDynamic operation mix (% of executed ops):");
-    print!("{:<10}", "workload");
-    for c in OpCategory::ALL {
-        print!("{:>8}", c.label());
-    }
-    println!();
-    for w in &tinker_workloads::ALL {
-        let (p, r) = w.compile_and_run().unwrap();
-        let mix = OpMix::dynamic_mix(&p, &r.trace);
-        print!("{:<10}", w.name);
-        for c in OpCategory::ALL {
-            print!("{:>7.1}%", mix.fraction(c) * 100.0);
-        }
-        println!();
-    }
+    let prepared = Engine::from_env().prepare_all().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    print!("{}", ccc_bench::figures::diag(&prepared));
 }

@@ -3,60 +3,12 @@
 //! of translation, prediction and atomic placement; this measures the
 //! IPC and bus-traffic consequences against per-block fetch.
 
-use ccc_bench::{mean, prepare_all, render_table};
-use ifetch_sim::{simulate, simulate_with_units, EncodingClass, FetchConfig, FetchUnits};
+use ccc_bench::engine::Engine;
 
 fn main() {
-    let prepared = prepare_all();
-    let mut rows = Vec::new();
-    let mut tail_gain = Vec::new();
-    for p in &prepared {
-        let code = p.base_img.total_bytes();
-        let units = FetchUnits::form(&p.program, &p.trace, 0.8);
-        let cfg_t = FetchConfig::scaled(EncodingClass::Tailored, code);
-        let cfg_b = FetchConfig::scaled(EncodingClass::Base, code);
-        let tb = simulate(&p.program, &p.tailored_img, &p.trace, &cfg_t);
-        let tu = simulate_with_units(&p.program, &p.tailored_img, &p.trace, &cfg_t, &units);
-        let bb = simulate(&p.program, &p.base_img, &p.trace, &cfg_b);
-        let bu = simulate_with_units(&p.program, &p.base_img, &p.trace, &cfg_b, &units);
-        tail_gain.push(tu.ipc() / tb.ipc() - 1.0);
-        rows.push(vec![
-            p.workload.name.to_string(),
-            format!("{:.2}", units.avg_len()),
-            format!("{:.3}", bb.ipc()),
-            format!("{:.3}", bu.ipc()),
-            format!("{:.3}", tb.ipc()),
-            format!("{:.3}", tu.ipc()),
-            format!("{:.2}x", tu.bus_beats as f64 / tb.bus_beats.max(1) as f64),
-            format!(
-                "{:.0}%",
-                100.0 * (tb.pred_correct + tb.pred_wrong) as f64
-                    / (tu.pred_correct + tu.pred_wrong).max(1) as f64
-            ),
-        ]);
-    }
-    println!("Extension: complex fetch units (profile-formed, θ = 0.8) vs basic blocks.\n");
-    print!(
-        "{}",
-        render_table(
-            &[
-                "benchmark",
-                "blk/unit",
-                "base blk",
-                "base unit",
-                "tail blk",
-                "tail unit",
-                "unit bus",
-                "pred pts"
-            ],
-            &rows
-        )
-    );
-    println!(
-        "\nMean tailored IPC effect of complex units: {:+.2}%.",
-        mean(&tail_gain) * 100.0
-    );
-    println!("Longer units remove per-block prediction points but over-fetch on early");
-    println!("exits — the tension the paper flags for its future complex-block study.");
-    println!("('pred pts' = block-granularity prediction points as % of unit-granularity.)");
+    let prepared = Engine::from_env().prepare_all().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    print!("{}", ccc_bench::figures::ext_complex_units(&prepared));
 }

@@ -1,73 +1,14 @@
-//! Extension experiment for the paper's §2.2 entropy-limit observation
-//! ("combining two or more compression strategies does not yield better
-//! compression, since we are approaching the entropy limit of the
-//! program") and its §7 future work ("different compression schemes
-//! beyond Huffman").
-//!
-//! Compares whole-op Huffman (`full`) against op-pair Huffman (`pair`):
-//! per-op entropy vs measured bits/op, and the total ROM+dictionary cost
-//! that makes pairing a bad trade.
+//! Extension experiment for the paper's §2.2 entropy-limit observation:
+//! whole-op Huffman (`full`) against op-pair Huffman (`pair`) — per-op
+//! entropy vs measured bits/op, and the total ROM+dictionary cost that
+//! makes pairing a bad trade.
 
-use ccc_bench::{mean, render_table};
-use ccc_core::encoded::DecoderCost;
-use ccc_core::schemes::{full::FullScheme, pair::PairScheme, Scheme, SchemeOutput};
-use tinker_huffman::{entropy_bits, Dictionary};
-
-fn dict_bytes(out: &SchemeOutput) -> usize {
-    match &out.image.decoder {
-        DecoderCost::Huffman(parts) => parts.iter().map(|p| p.k * (p.m as usize).div_ceil(8)).sum(),
-        _ => 0,
-    }
-}
+use ccc_bench::engine::Engine;
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut ratios = Vec::new();
-    for w in &tinker_workloads::ALL {
-        let p = w.compile().expect("compiles");
-        let dict: Dictionary<u64> = p.op_words().into_iter().collect();
-        let h = entropy_bits(dict.freqs());
-        let full = FullScheme::default().compress(&p).unwrap();
-        let pair = PairScheme::default().compress(&p).unwrap();
-        assert!(pair.verify_roundtrip(&p));
-        let bits = |o: &SchemeOutput| o.image.total_bytes() as f64 * 8.0 / p.num_ops() as f64;
-        let full_total = full.image.total_bytes() + dict_bytes(&full);
-        let pair_total = pair.image.total_bytes() + dict_bytes(&pair);
-        ratios.push(pair_total as f64 / full_total as f64);
-        rows.push(vec![
-            w.name.to_string(),
-            format!("{h:.2}"),
-            format!("{:.2}", bits(&full)),
-            format!("{:.2}", bits(&pair)),
-            full.image.total_bytes().to_string(),
-            dict_bytes(&full).to_string(),
-            pair.image.total_bytes().to_string(),
-            dict_bytes(&pair).to_string(),
-            format!("{:.2}x", pair_total as f64 / full_total as f64),
-        ]);
-    }
-    println!("Extension: op-pair Huffman vs whole-op Huffman (the entropy-limit check).\n");
-    print!(
-        "{}",
-        render_table(
-            &[
-                "benchmark",
-                "H(op) bits",
-                "full b/op",
-                "pair b/op",
-                "full img",
-                "full dict",
-                "pair img",
-                "pair dict",
-                "pair/full total"
-            ],
-            &rows
-        )
-    );
-    println!(
-        "\nMean total (image + decoder dictionary): pairing costs {:.2}x whole-op coding.",
-        mean(&ratios)
-    );
-    println!("Pairing shrinks the image only by moving the program into its dictionary —");
-    println!("per-op coding already sits within a bit of the program's op entropy (§2.2).");
+    let prepared = Engine::from_env().prepare_all().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    print!("{}", ccc_bench::figures::ext_entropy_limit(&prepared));
 }

@@ -1,107 +1,24 @@
 //! Extension experiment: fault injection on the compressed ROM image.
 //!
-//! The paper targets embedded ROMs but never asks what a bit error does
-//! to a compressed instruction stream. This campaign injects faults
-//! (bit flips, stuck-at, 2–8-bit bursts) into the payload, the decode
-//! dictionaries and the ATT entries of every scheme, and classifies each
-//! as detected (integrity check or decode error), contained (wrong
-//! decode confined to the faulted block), SDC (silent corruption beyond
-//! it) or masked. Deterministic: same seed, same table.
+//! Injects faults (bit flips, stuck-at, 2–8-bit bursts) into the
+//! payload, the decode dictionaries and the ATT entries of every scheme,
+//! classifying each as detected, contained, SDC or masked.
+//! Deterministic: same seed, same table.
 
-use ccc_core::fault::{run_campaign, CampaignConfig, Tally};
-use std::collections::BTreeMap;
+use ccc_bench::engine::Engine;
+use ccc_core::fault::CampaignConfig;
 
 fn main() {
+    let prepared = Engine::from_env().prepare_all().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
     let cfg = CampaignConfig {
         seed: 42,
         faults_per_target: 100,
     };
-    // scheme -> (payload, payload_raw, dict, att, amp sums)
-    let mut agg: BTreeMap<String, (Tally, Tally, Tally, Tally, f64)> = BTreeMap::new();
-    let mut order: Vec<String> = Vec::new();
-    let mut workloads = 0u32;
-    for w in &tinker_workloads::ALL {
-        let p = w.compile().expect("compiles");
-        let rep = run_campaign(&p, &cfg);
-        workloads += 1;
-        for row in &rep.rows {
-            if !order.contains(&row.scheme) {
-                order.push(row.scheme.clone());
-            }
-            let e = agg.entry(row.scheme.clone()).or_default();
-            for (sum, part) in [
-                (&mut e.0, row.payload),
-                (&mut e.1, row.payload_raw),
-                (&mut e.2, row.dictionary),
-                (&mut e.3, row.att),
-            ] {
-                sum.detected += part.detected;
-                sum.contained += part.contained;
-                sum.sdc += part.sdc;
-                sum.masked += part.masked;
-            }
-            e.4 += row.raw_amplification;
-        }
-    }
-
-    println!(
-        "Extension: fault-injection campaign, {} faults per scheme per target per\n\
-         workload, {} workloads, seed {}. Fault mix: 1/2 bit-flips, 1/4 stuck-at,\n\
-         1/4 bursts (2-8 bits).\n",
-        cfg.faults_per_target, workloads, cfg.seed
-    );
-    println!("Payload faults, integrity checks ON (per-block parity + typed decode errors):\n");
-    println!(
-        "{:<10} {:>9} {:>9} {:>5} {:>8}",
-        "scheme", "detected", "contained", "sdc", "masked"
-    );
-    for s in &order {
-        let e = &agg[s];
-        println!(
-            "{s:<10} {:>9} {:>9} {:>5} {:>8}",
-            e.0.detected, e.0.contained, e.0.sdc, e.0.masked
-        );
-    }
-    println!(
-        "\nPayload faults, RAW decoder only (no parity) - each encoding's intrinsic\n\
-         error response; 'amp' is mean corrupted ops per undetected fault:\n"
-    );
-    println!(
-        "{:<10} {:>9} {:>9} {:>5} {:>8} {:>7}",
-        "scheme", "detected", "contained", "sdc", "masked", "amp"
-    );
-    for s in &order {
-        let e = &agg[s];
-        println!(
-            "{s:<10} {:>9} {:>9} {:>5} {:>8} {:>7.2}",
-            e.1.detected,
-            e.1.contained,
-            e.1.sdc,
-            e.1.masked,
-            e.4 / workloads as f64
-        );
-    }
-    println!(
-        "\nDictionary faults (CRC32 over decode tables) and ATT entry faults\n\
-         (CRC-8 self-check):\n"
-    );
-    println!(
-        "{:<10} {:>9} {:>5} {:>8}   {:>9} {:>5} {:>8}",
-        "scheme", "dict det", "sdc", "masked", "att det", "sdc", "masked"
-    );
-    for s in &order {
-        let e = &agg[s];
-        println!(
-            "{s:<10} {:>9} {:>5} {:>8}   {:>9} {:>5} {:>8}",
-            e.2.detected, e.2.sdc, e.2.masked, e.3.detected, e.3.sdc, e.3.masked
-        );
-    }
-    let protected_sdc: u64 = agg.values().map(|e| e.0.sdc + e.2.sdc + e.3.sdc).sum();
-    println!("\nSDC in protected regions (payload+parity, dictionaries, ATT): {protected_sdc}.");
-    println!(
-        "Huffman streams amplify undetected errors (a wrong code length cascades to\n\
-         the block end) where the tailored encoding's fixed-width fields corrupt only\n\
-         the struck op - but block-atomic fetch contains both, and the parity/CRC\n\
-         layer catches what the decoder cannot."
+    print!(
+        "{}",
+        ccc_bench::figures::ext_fault_campaign(&prepared, &cfg)
     );
 }

@@ -2,70 +2,12 @@
 //! per-block counters with a gshare direction predictor and measure the
 //! effect on prediction accuracy and IPC for each encoding.
 
-use ccc_bench::{mean, prepare_all, render_table};
-use ifetch_sim::{simulate, EncodingClass, FetchConfig, PredictorKind};
+use ccc_bench::engine::Engine;
 
 fn main() {
-    let prepared = prepare_all();
-    let mut rows = Vec::new();
-    let mut base_gain = Vec::new();
-    let mut tail_gain = Vec::new();
-    for p in &prepared {
-        let code = p.base_img.total_bytes();
-        let run = |class: EncodingClass, predictor: PredictorKind| {
-            let mut cfg = FetchConfig::scaled(class, code);
-            cfg.predictor = predictor;
-            let img = match class {
-                EncodingClass::Tailored => &p.tailored_img,
-                EncodingClass::Compressed => &p.compressed_img,
-                _ => &p.base_img,
-            };
-            simulate(&p.program, img, &p.trace, &cfg)
-        };
-        let g = PredictorKind::Gshare { history_bits: 12 };
-        let b2 = run(EncodingClass::Base, PredictorKind::AtbTwoBit);
-        let bg = run(EncodingClass::Base, g);
-        let t2 = run(EncodingClass::Tailored, PredictorKind::AtbTwoBit);
-        let tg = run(EncodingClass::Tailored, g);
-        let c2 = run(EncodingClass::Compressed, PredictorKind::AtbTwoBit);
-        let cg = run(EncodingClass::Compressed, g);
-        base_gain.push(bg.ipc() / b2.ipc() - 1.0);
-        tail_gain.push(tg.ipc() / t2.ipc() - 1.0);
-        rows.push(vec![
-            p.workload.name.to_string(),
-            format!("{:.1}%", b2.pred_accuracy() * 100.0),
-            format!("{:.1}%", bg.pred_accuracy() * 100.0),
-            format!("{:.3}", b2.ipc()),
-            format!("{:.3}", bg.ipc()),
-            format!("{:.3}", t2.ipc()),
-            format!("{:.3}", tg.ipc()),
-            format!("{:.3}", c2.ipc()),
-            format!("{:.3}", cg.ipc()),
-        ]);
-    }
-    println!("Extension: gshare (4096-entry, 12-bit history) vs per-block 2-bit counters.\n");
-    print!(
-        "{}",
-        render_table(
-            &[
-                "benchmark",
-                "2bit acc",
-                "gshare acc",
-                "base 2bit",
-                "base gsh",
-                "tail 2bit",
-                "tail gsh",
-                "comp 2bit",
-                "comp gsh"
-            ],
-            &rows
-        )
-    );
-    println!(
-        "\nMean IPC effect of gshare: base {:+.2}%, tailored {:+.2}%.",
-        mean(&base_gain) * 100.0,
-        mean(&tail_gain) * 100.0
-    );
-    println!("The paper predicts room here: a deeper decode pipeline raises the value of");
-    println!("prediction accuracy, so Compressed benefits most when gshare wins.");
+    let prepared = Engine::from_env().prepare_all().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    print!("{}", ccc_bench::figures::ext_gshare(&prepared));
 }

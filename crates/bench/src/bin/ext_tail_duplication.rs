@@ -1,93 +1,13 @@
 //! Extension experiment for the paper's §1 remark that VLIW code
 //! duplication must be "restricted to RISC-like levels": what does tail
-//! duplication actually trade on this system? Duplicating small join
-//! blocks enlarges the atomic fetch unit (fewer block boundaries, fewer
-//! predictions) but grows the ROM — the exact currency of this paper.
+//! duplication actually trade on this system?
 
-use ccc_bench::{mean, render_table};
-use ccc_core::schemes::base::encode_base;
-use ifetch_sim::{simulate, EncodingClass, FetchConfig};
-use yula::{Emulator, Limits};
+use ccc_bench::engine::Engine;
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut size_growth = Vec::new();
-    let mut ipc_change = Vec::new();
-    for w in &tinker_workloads::ALL {
-        let plain = lego::compile(w.source(), &lego::Options::default()).expect("compiles");
-        let duped = lego::compile(
-            w.source(),
-            &lego::Options {
-                tail_duplicate: Some(6),
-                ..lego::Options::default()
-            },
-        )
-        .expect("compiles with tail duplication");
-
-        let run_plain = Emulator::new(&plain).run(&Limits::default()).expect("runs");
-        let run_duped = Emulator::new(&duped).run(&Limits::default()).expect("runs");
-        assert_eq!(
-            run_plain.output, run_duped.output,
-            "{}: behaviour changed!",
-            w.name
-        );
-
-        // Fetch both in their own address spaces, at equal cache pressure
-        // relative to the *plain* image (duplication must pay for its own
-        // extra bytes).
-        let img_p = encode_base(&plain);
-        let img_d = encode_base(&duped);
-        let code = img_p.total_bytes();
-        let cfg = FetchConfig::scaled(EncodingClass::Base, code);
-        let rp = simulate(&plain, &img_p, &run_plain.trace, &cfg);
-        let rd = simulate(&duped, &img_d, &run_duped.trace, &cfg);
-
-        size_growth.push(duped.code_size() as f64 / plain.code_size() as f64);
-        ipc_change.push(rd.ipc() / rp.ipc() - 1.0);
-        rows.push(vec![
-            w.name.to_string(),
-            plain.code_size().to_string(),
-            format!(
-                "{:+.1}%",
-                (duped.code_size() as f64 / plain.code_size() as f64 - 1.0) * 100.0
-            ),
-            format!(
-                "{:.2}",
-                run_plain.stats.ops as f64 / run_plain.stats.blocks as f64
-            ),
-            format!(
-                "{:.2}",
-                run_duped.stats.ops as f64 / run_duped.stats.blocks as f64
-            ),
-            format!("{:.3}", rp.ipc()),
-            format!("{:.3}", rd.ipc()),
-            format!("{:.1}%", rp.pred_accuracy() * 100.0),
-            format!("{:.1}%", rd.pred_accuracy() * 100.0),
-        ]);
-    }
-    println!("Extension: tail duplication (join blocks ≤ 6 insts cloned into jump preds).\n");
-    print!(
-        "{}",
-        render_table(
-            &[
-                "benchmark",
-                "code B",
-                "Δsize",
-                "ops/blk",
-                "dup ops/blk",
-                "base IPC",
-                "dup IPC",
-                "pred",
-                "dup pred"
-            ],
-            &rows
-        )
-    );
-    println!(
-        "\nMean: code size {:+.1}%, IPC {:+.2}%.",
-        (mean(&size_growth) - 1.0) * 100.0,
-        mean(&ipc_change) * 100.0
-    );
-    println!("The paper's stance — keep duplication at RISC-like levels — is the judgment");
-    println!("call this table informs: block enlargement vs the ROM bytes it costs.");
+    let prepared = Engine::from_env().prepare_all().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    print!("{}", ccc_bench::figures::ext_tail_duplication(&prepared));
 }

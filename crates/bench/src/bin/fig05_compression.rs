@@ -2,36 +2,14 @@
 //! only)": per benchmark, the code segment size of every scheme as a
 //! percentage of the original image.
 
-use ccc_bench::{mean, render_table};
-use ccc_core::CompressionReport;
+use ccc_bench::engine::Engine;
 
 fn main() {
-    let schemes = ["byte", "stream", "stream_1", "full", "tailored"];
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-    for w in &tinker_workloads::ALL {
-        let program = w.compile().expect("workload compiles");
-        let rep = CompressionReport::build(w.name, &program);
-        let mut row = vec![w.name.to_string(), format!("{}", rep.original_bytes)];
-        for (i, s) in schemes.iter().enumerate() {
-            let r = rep.row(s).expect("scheme present");
-            per_scheme[i].push(r.code_ratio);
-            row.push(format!("{:.1}%", r.code_ratio * 100.0));
-        }
-        rows.push(row);
-    }
-    let mut avg = vec!["average".to_string(), String::new()];
-    for vals in &per_scheme {
-        avg.push(format!("{:.1}%", mean(vals) * 100.0));
-    }
-    rows.push(avg);
-
-    println!("Figure 5. Different Compression Techniques comparison (code segment only).");
-    println!("Values are encoded size as % of the original 40-bit image.\n");
-    let headers: Vec<&str> = std::iter::once("benchmark")
-        .chain(std::iter::once("orig B"))
-        .chain(schemes)
-        .collect();
-    print!("{}", render_table(&headers, &rows));
-    println!("\nPaper reference points: full ≈ 30%, tailored ≈ 64%, byte ≈ 72%, stream ≈ 75%.");
+    let engine = Engine::from_env();
+    let prepared = engine.prepare_all().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let reports = engine.reports(&prepared);
+    print!("{}", ccc_bench::figures::fig05(&reports));
 }

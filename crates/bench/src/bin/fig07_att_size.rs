@@ -2,53 +2,14 @@
 //! the compressed Address Translation Table for each scheme, and the
 //! dynamic ATB hit rates showing the buffer's low contention.
 
-use ccc_bench::{cache_study, mean, prepare_all, render_table};
-use ccc_core::CompressionReport;
+use ccc_bench::engine::Engine;
 
 fn main() {
-    let schemes = ["byte", "stream", "stream_1", "full", "tailored"];
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-    let mut att_fracs: Vec<f64> = Vec::new();
-    for w in &tinker_workloads::ALL {
-        let program = w.compile().expect("workload compiles");
-        let rep = CompressionReport::build(w.name, &program);
-        let mut row = vec![w.name.to_string()];
-        for (i, s) in schemes.iter().enumerate() {
-            let r = rep.row(s).expect("scheme present");
-            per_scheme[i].push(r.total_ratio);
-            att_fracs.push(r.att_bytes as f64 / r.code_bytes as f64);
-            row.push(format!("{:.1}%", r.total_ratio * 100.0));
-        }
-        rows.push(row);
-    }
-    let mut avg = vec!["average".to_string()];
-    for vals in &per_scheme {
-        avg.push(format!("{:.1}%", mean(vals) * 100.0));
-    }
-    rows.push(avg);
-
-    println!(
-        "Figure 7. ATB characteristics / total code size (code + compressed ATT, % of original).\n"
-    );
-    let headers: Vec<&str> = std::iter::once("benchmark").chain(schemes).collect();
-    print!("{}", render_table(&headers, &rows));
-    println!(
-        "\nMeasured ATT overhead: {:.1}% of the compressed code segment (paper: ≈15.5%).",
-        mean(&att_fracs) * 100.0
-    );
-
-    // Dynamic side: ATB hit rates under the cache study configuration.
-    // (The ATB sees only the block trace, so every translated encoding
-    // shares the same hit rate.)
-    println!("\nATB hit rates (64-entry, fully associative, LRU):");
-    let mut rows2 = Vec::new();
-    for p in prepare_all() {
-        let s = cache_study(&p);
-        rows2.push(vec![
-            p.workload.name.to_string(),
-            format!("{:.2}%", s.tailored.atb_hit_rate() * 100.0),
-        ]);
-    }
-    print!("{}", render_table(&["benchmark", "ATB hit"], &rows2));
+    let engine = Engine::from_env();
+    let prepared = engine.prepare_all().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let reports = engine.reports(&prepared);
+    print!("{}", ccc_bench::figures::fig07(&reports, &prepared));
 }

@@ -2,49 +2,14 @@
 //! estimate of each scheme's decode hardware (the paper's mux-tree model
 //! for Huffman schemes; the PLA model for the tailored ISA).
 
-use ccc_bench::{geomean, render_table};
-use ccc_core::CompressionReport;
+use ccc_bench::engine::Engine;
 
 fn main() {
-    let schemes = ["byte", "stream", "stream_1", "full", "tailored"];
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-    for w in &tinker_workloads::ALL {
-        let program = w.compile().expect("workload compiles");
-        let rep = CompressionReport::build(w.name, &program);
-        let mut row = vec![w.name.to_string()];
-        for (i, s) in schemes.iter().enumerate() {
-            let r = rep.row(s).expect("scheme present");
-            per_scheme[i].push(r.decoder_transistors as f64);
-            row.push(group_digits(r.decoder_transistors));
-        }
-        rows.push(row);
-    }
-    let mut gm = vec!["geomean".to_string()];
-    for vals in &per_scheme {
-        gm.push(group_digits(geomean(vals) as u128));
-    }
-    rows.push(gm);
-
-    println!("Figure 10. Decoder complexity (modelled transistors).");
-    println!("Huffman schemes: T = 2m(2^n-1) + 4m(2^n-2^(n-1)-1) + 2n per table;");
-    println!("tailored: two-plane PLA over the dense (OPT,OPCODE) selector.\n");
-    let headers: Vec<&str> = std::iter::once("benchmark").chain(schemes).collect();
-    print!("{}", render_table(&headers, &rows));
-    println!("\nPaper shape: Full largest by far; byte smallest of the Huffman family;");
-    println!("the stream family sits between; the tailored PLA is nearly free.");
-}
-
-fn group_digits(v: u128) -> String {
-    let s = v.to_string();
-    let bytes: Vec<u8> = s.bytes().rev().collect();
-    let mut out = Vec::new();
-    for (i, b) in bytes.iter().enumerate() {
-        if i > 0 && i % 3 == 0 {
-            out.push(b'_');
-        }
-        out.push(*b);
-    }
-    out.reverse();
-    String::from_utf8(out).expect("digits")
+    let engine = Engine::from_env();
+    let prepared = engine.prepare_all().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let reports = engine.reports(&prepared);
+    print!("{}", ccc_bench::figures::fig10(&reports));
 }

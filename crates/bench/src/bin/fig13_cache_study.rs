@@ -2,94 +2,12 @@
 //! Ideal / Base / Compressed / Tailored on every benchmark (6-issue core,
 //! 16KB 2-way caches, 20KB for Base).
 
-use ccc_bench::{cache_study_scaled, mean, median, prepare_all, render_table};
+use ccc_bench::engine::Engine;
 
 fn main() {
-    let prepared = prepare_all();
-    let mut rows = Vec::new();
-    let (mut ideals, mut bases, mut comps, mut tails) = (vec![], vec![], vec![], vec![]);
-    for p in &prepared {
-        let s = cache_study_scaled(p);
-        ideals.push(s.ideal.ipc());
-        bases.push(s.base.ipc());
-        comps.push(s.compressed.ipc());
-        tails.push(s.tailored.ipc());
-        rows.push(vec![
-            p.workload.name.to_string(),
-            format!("{:.3}", s.ideal.ipc()),
-            format!("{:.3}", s.base.ipc()),
-            format!("{:.3}", s.compressed.ipc()),
-            format!("{:.3}", s.tailored.ipc()),
-            format!("{:.1}%", s.base.pred_accuracy() * 100.0),
-            format!("{:.1}%", s.base.cache_hit_rate() * 100.0),
-            format!("{:.1}%", s.compressed.cache_hit_rate() * 100.0),
-        ]);
-    }
-    rows.push(vec![
-        "average".into(),
-        format!("{:.3}", mean(&ideals)),
-        format!("{:.3}", mean(&bases)),
-        format!("{:.3}", mean(&comps)),
-        format!("{:.3}", mean(&tails)),
-        String::new(),
-        String::new(),
-        String::new(),
-    ]);
-    rows.push(vec![
-        "median".into(),
-        format!("{:.3}", median(&ideals)),
-        format!("{:.3}", median(&bases)),
-        format!("{:.3}", median(&comps)),
-        format!("{:.3}", median(&tails)),
-        String::new(),
-        String::new(),
-        String::new(),
-    ]);
-
-    println!("Figure 13. Cache study summary — operations delivered per cycle.");
-    println!("Ideal = perfect cache & predictor; issue width 6.\n");
-    print!(
-        "{}",
-        render_table(
-            &[
-                "benchmark",
-                "ideal",
-                "base",
-                "compressed",
-                "tailored",
-                "b.pred",
-                "b.I$hit",
-                "c.I$hit"
-            ],
-            &rows
-        )
-    );
-    println!("\nPaper shape: Tailored > Base on average (≈5-10%); Compressed beats Base in the");
-    println!("median but loses on some benchmarks (compress, go, ijpeg, m88ksim) where its");
-    println!("deeper misprediction/miss-repair penalty outweighs the capacity win.");
-
-    let tail_gain = (mean(&tails) / mean(&bases) - 1.0) * 100.0;
-    let comp_gain_med = (median(&comps) / median(&bases) - 1.0) * 100.0;
-    println!("\nMeasured: tailored vs base (mean): {tail_gain:+.1}%");
-    println!("Measured: compressed vs base (median): {comp_gain_med:+.1}%");
-
-    // Companion view at the paper's literal cache sizes (16KB/20KB): our
-    // workloads fit entirely, so the capacity effects vanish and only
-    // the pipeline-depth differences remain — printed to make the
-    // scaling substitution auditable.
-    println!("\nPaper-spec caches (16KB/20KB; everything fits — pipeline effects only):");
-    let mut rows2 = Vec::new();
-    for p in &prepared {
-        let s = ccc_bench::cache_study(p);
-        rows2.push(vec![
-            p.workload.name.to_string(),
-            format!("{:.3}", s.base.ipc()),
-            format!("{:.3}", s.compressed.ipc()),
-            format!("{:.3}", s.tailored.ipc()),
-        ]);
-    }
-    print!(
-        "{}",
-        render_table(&["benchmark", "base", "compressed", "tailored"], &rows2)
-    );
+    let prepared = Engine::from_env().prepare_all().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    print!("{}", ccc_bench::figures::fig13(&prepared));
 }

@@ -2,122 +2,12 @@
 //! 64-bit code-memory bus for Base / Compressed / Tailored (the power
 //! proxy; each miss moves encoded lines across the bus).
 
-use ccc_bench::{cache_study_scaled, mean, prepare_all, render_table};
+use ccc_bench::engine::Engine;
 
 fn main() {
-    let prepared = prepare_all();
-    let mut rows = Vec::new();
-    let mut rel_tail = Vec::new();
-    let mut rel_comp = Vec::new();
-    for p in &prepared {
-        let s = cache_study_scaled(p);
-        let b = s.base.bus_bit_flips.max(1) as f64;
-        rel_tail.push(s.tailored.bus_bit_flips as f64 / b);
-        rel_comp.push(s.compressed.bus_bit_flips as f64 / b);
-        rows.push(vec![
-            p.workload.name.to_string(),
-            s.base.bus_bit_flips.to_string(),
-            s.compressed.bus_bit_flips.to_string(),
-            s.tailored.bus_bit_flips.to_string(),
-            format!("{:.2}", s.compressed.bus_bit_flips as f64 / b),
-            format!("{:.2}", s.tailored.bus_bit_flips as f64 / b),
-            s.base.bus_beats.to_string(),
-            s.compressed.bus_beats.to_string(),
-            s.tailored.bus_beats.to_string(),
-        ]);
-    }
-    println!("Figure 14. Memory bus bit flips summary (and bus beats).\n");
-    print!(
-        "{}",
-        render_table(
-            &[
-                "benchmark",
-                "base flips",
-                "comp flips",
-                "tail flips",
-                "comp/base",
-                "tail/base",
-                "base beats",
-                "comp beats",
-                "tail beats"
-            ],
-            &rows
-        )
-    );
-    println!(
-        "\nAverage relative activity: compressed {:.2}x, tailored {:.2}x of base.",
-        mean(&rel_comp),
-        mean(&rel_tail)
-    );
-    println!("(In the Figure-13 configuration the compressed image fits its cache almost");
-    println!(" entirely, so its bus traffic collapses to cold misses.)");
-
-    // Second view: a tight cache (8% of the base image) where every
-    // encoding misses — here the savings visibly track the degree of
-    // compression, the paper's Figure-14 shape.
-    println!("\nTight-cache view (capacity = 8% of the base image for every encoding):\n");
-    let mut rows2 = Vec::new();
-    let mut r2_tail = Vec::new();
-    let mut r2_comp = Vec::new();
-    for p in &prepared {
-        let cap = (p.base_img.total_bytes() / 12).max(240);
-        let mk = |mut cfg: ifetch_sim::FetchConfig| {
-            cfg.cache.capacity = cap;
-            cfg
-        };
-        let base = ifetch_sim::simulate(
-            &p.program,
-            &p.base_img,
-            &p.trace,
-            &mk(ifetch_sim::FetchConfig::base()),
-        );
-        let comp = ifetch_sim::simulate(
-            &p.program,
-            &p.compressed_img,
-            &p.trace,
-            &mk(ifetch_sim::FetchConfig::compressed()),
-        );
-        let tail = ifetch_sim::simulate(
-            &p.program,
-            &p.tailored_img,
-            &p.trace,
-            &mk(ifetch_sim::FetchConfig::tailored()),
-        );
-        let b = base.bus_bit_flips.max(1) as f64;
-        r2_comp.push(comp.bus_bit_flips as f64 / b);
-        r2_tail.push(tail.bus_bit_flips as f64 / b);
-        rows2.push(vec![
-            p.workload.name.to_string(),
-            base.bus_bit_flips.to_string(),
-            comp.bus_bit_flips.to_string(),
-            tail.bus_bit_flips.to_string(),
-            format!("{:.2}", comp.bus_bit_flips as f64 / b),
-            format!("{:.2}", tail.bus_bit_flips as f64 / b),
-        ]);
-    }
-    print!(
-        "{}",
-        render_table(
-            &[
-                "benchmark",
-                "base flips",
-                "comp flips",
-                "tail flips",
-                "comp/base",
-                "tail/base"
-            ],
-            &rows2
-        )
-    );
-    println!(
-        "\nTight-cache average: compressed {:.2}x, tailored {:.2}x of base — tracking the",
-        mean(&r2_comp),
-        mean(&r2_tail)
-    );
-    println!(
-        "compression ratios ({:.2} and {:.2} respectively).",
-        0.20, 0.57
-    );
-    println!("Paper shape: savings track the degree of compression — each scheme brings in");
-    println!("more instructions per bit flipped.");
+    let prepared = Engine::from_env().prepare_all().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    print!("{}", ccc_bench::figures::fig14(&prepared));
 }

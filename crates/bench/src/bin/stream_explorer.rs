@@ -1,76 +1,13 @@
-//! The six stream configurations (paper Figure 3 / §2.2: "six stream
-//! configurations were considered... selected for the smallest code size
-//! (stream_1) and for the smallest decoder (stream)"): code size and
+//! The six stream configurations (paper Figure 3 / §2.2): code size and
 //! decoder complexity of every configuration on every workload, making
-//! the selection reproducible.
+//! the paper's stream/stream_1 selection reproducible.
 
-use ccc_bench::{mean, render_table};
-use ccc_core::schemes::stream::{StreamConfig, StreamScheme};
-use ccc_core::schemes::Scheme;
+use ccc_bench::engine::Engine;
 
 fn main() {
-    println!("Stream configuration explorer (paper Figure 3 / §2.2).\n");
-    println!("Configurations (bit cut points over the 40-bit op):");
-    for c in &StreamConfig::ALL {
-        let widths: Vec<String> = (0..c.num_streams())
-            .map(|i| c.stream_bits(i).1.to_string())
-            .collect();
-        println!(
-            "  {:<9} cuts {:?} → stream widths [{}]",
-            c.name,
-            c.cuts,
-            widths.join(", ")
-        );
-    }
-    println!();
-
-    let mut rows = Vec::new();
-    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); StreamConfig::ALL.len()];
-    let mut decoders: Vec<Vec<f64>> = vec![Vec::new(); StreamConfig::ALL.len()];
-    for w in &tinker_workloads::ALL {
-        let p = w.compile().expect("compiles");
-        let mut row = vec![w.name.to_string()];
-        for (i, c) in StreamConfig::ALL.iter().enumerate() {
-            let out = StreamScheme::with_config(c)
-                .compress(&p)
-                .expect("compresses");
-            assert!(out.verify_roundtrip(&p), "{}/{}", w.name, c.name);
-            let r = out.image.ratio(p.code_size());
-            ratios[i].push(r);
-            decoders[i].push(out.image.decoder.transistors() as f64);
-            row.push(format!("{:.1}%", r * 100.0));
-        }
-        rows.push(row);
-    }
-    let mut avg = vec!["average".to_string()];
-    for v in &ratios {
-        avg.push(format!("{:.1}%", mean(v) * 100.0));
-    }
-    rows.push(avg);
-    let mut dec = vec!["decoder T".to_string()];
-    for v in &decoders {
-        dec.push(format!("{:.0}", mean(v)));
-    }
-    rows.push(dec);
-
-    let headers: Vec<&str> = std::iter::once("benchmark")
-        .chain(StreamConfig::ALL.iter().map(|c| c.name))
-        .collect();
-    print!("{}", render_table(&headers, &rows));
-
-    // Confirm the paper's two selections hold on this corpus.
-    let avg_ratio: Vec<f64> = ratios.iter().map(|v| mean(v)).collect();
-    let avg_dec: Vec<f64> = decoders.iter().map(|v| mean(v)).collect();
-    let best_code = (0..avg_ratio.len()).min_by(|&a, &b| avg_ratio[a].total_cmp(&avg_ratio[b]));
-    let best_dec = (0..avg_dec.len()).min_by(|&a, &b| avg_dec[a].total_cmp(&avg_dec[b]));
-    println!(
-        "\nSmallest code : {} ({:.1}%)",
-        StreamConfig::ALL[best_code.unwrap()].name,
-        avg_ratio[best_code.unwrap()] * 100.0
-    );
-    println!(
-        "Smallest decoder: {} ({:.0} transistors)",
-        StreamConfig::ALL[best_dec.unwrap()].name,
-        avg_dec[best_dec.unwrap()]
-    );
+    let prepared = Engine::from_env().prepare_all().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    print!("{}", ccc_bench::figures::stream_explorer(&prepared));
 }

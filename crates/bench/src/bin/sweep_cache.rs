@@ -1,34 +1,13 @@
 //! Diagnostic sweep: Base-encoding ICache hit rate vs capacity, per
 //! workload. Used to choose the scaled cache sizes that preserve the
-//! paper's code-size : cache-size pressure (their SPEC binaries dwarf a
-//! 16KB cache; our workloads are smaller, so the cache scales down with
-//! them). Also the substrate for the ablation study over cache size.
+//! paper's code-size : cache-size pressure.
 
-use ccc_bench::{prepare_all, render_table};
-use ifetch_sim::{simulate, FetchConfig};
+use ccc_bench::engine::Engine;
 
 fn main() {
-    let caps: Vec<usize> = vec![256, 512, 1024, 2048, 4096, 8192, 16384];
-    let prepared = prepare_all();
-    let mut rows = Vec::new();
-    for p in &prepared {
-        let mut row = vec![
-            p.workload.name.to_string(),
-            format!("{}", p.base_img.total_bytes()),
-        ];
-        for &cap in &caps {
-            let mut cfg = FetchConfig::base();
-            cfg.cache.capacity = cap;
-            let r = simulate(&p.program, &p.base_img, &p.trace, &cfg);
-            row.push(format!("{:.1}", r.cache_hit_rate() * 100.0));
-        }
-        rows.push(row);
-    }
-    let headers: Vec<String> = ["benchmark".to_string(), "code B".to_string()]
-        .into_iter()
-        .chain(caps.iter().map(|c| format!("{c}B")))
-        .collect();
-    let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    println!("Base-encoding ICache hit rate (%) vs capacity (2-way, 30B lines):\n");
-    print!("{}", render_table(&hdr_refs, &rows));
+    let prepared = Engine::from_env().prepare_all().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    print!("{}", ccc_bench::figures::sweep_cache(&prepared));
 }

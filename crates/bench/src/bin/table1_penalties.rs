@@ -2,5 +2,5 @@
 //! *input*; printed for the record).
 
 fn main() {
-    print!("{}", ifetch_sim::PenaltyTable::render_table1());
+    print!("{}", ccc_bench::figures::table1());
 }

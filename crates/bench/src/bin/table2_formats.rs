@@ -2,5 +2,5 @@
 //! printed for the record).
 
 fn main() {
-    print!("{}", tepic_isa::format::render_table2());
+    print!("{}", ccc_bench::figures::table2());
 }

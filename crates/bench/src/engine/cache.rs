@@ -1,0 +1,242 @@
+//! The content-addressed on-disk artifact cache.
+//!
+//! Every prepared artifact — compiled [`Program`]s, dynamic
+//! [`BlockTrace`]s, encoded images, compression reports — is stored as
+//! one file whose *name* is derived from a stable 128-bit content key
+//! over everything the artifact depends on (workload source, compiler
+//! options, scheme, codec/wire versions; see [`CacheKey`]). Warm runs
+//! look the key up and skip the compile/emulate/encode pipeline
+//! entirely; any input change produces a different key, so entries are
+//! immutable and never need invalidation logic.
+//!
+//! ## Entry file format
+//!
+//! ```text
+//! [0..4)   magic  "CCA1"
+//! [4..8)   crc32 of the payload (IEEE, as ccc_core::integrity::crc32)
+//! [8..16)  payload length, u64 LE
+//! [16.. )  payload (artifact wire bytes)
+//! ```
+//!
+//! A bad magic, length or CRC classifies the entry as **corrupt**: the
+//! reader reports it (the engine counts and rebuilds) rather than
+//! trusting the bytes. Writes go through a unique temp file followed by
+//! an atomic rename, so readers never observe a half-written entry.
+//!
+//! [`Program`]: tepic_isa::Program
+//! [`BlockTrace`]: yula::BlockTrace
+
+use ccc_core::integrity::crc32;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use tepic_isa::wire::Fnv128;
+
+/// Magic prefix of every cache entry file.
+const MAGIC: [u8; 4] = *b"CCA1";
+
+/// Header bytes before the payload: magic + crc32 + length.
+const HEADER_BYTES: usize = 16;
+
+/// Identity of one artifact: a kind, a human-readable label (for the
+/// file name only — *not* part of the key) and the 128-bit content hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    /// Artifact kind (`program`, `trace`, `image`, `report`).
+    pub kind: &'static str,
+    /// Debuggable label, e.g. `compress-full`. Sanitized into the file
+    /// name so a directory listing reads as an inventory.
+    pub label: String,
+    /// Content hash over every input the artifact depends on.
+    pub hash: u128,
+}
+
+impl CacheKey {
+    /// Builds a key from a kind, label and a finished hasher.
+    pub fn new(kind: &'static str, label: impl Into<String>, hash: &Fnv128) -> CacheKey {
+        CacheKey {
+            kind,
+            label: label.into(),
+            hash: hash.finish(),
+        }
+    }
+
+    /// The entry's file name: `<kind>-<label>-<hash32hex>.art`.
+    pub fn file_name(&self) -> String {
+        let label: String = self
+            .label
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                    c
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        format!("{}-{}-{:032x}.art", self.kind, label, self.hash)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} [{:032x}]", self.kind, self.label, self.hash)
+    }
+}
+
+/// Outcome of a cache probe.
+#[derive(Debug)]
+pub enum Lookup {
+    /// The entry exists and its payload passed the integrity checks.
+    Hit(Vec<u8>),
+    /// No entry under this key.
+    Miss,
+    /// An entry exists but is damaged (bad magic/length/CRC, or an I/O
+    /// error mid-read). The engine rebuilds and overwrites it.
+    Corrupt,
+}
+
+/// A directory of content-addressed artifact files.
+#[derive(Debug, Clone)]
+pub struct ArtifactCache {
+    dir: PathBuf,
+}
+
+impl ArtifactCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ArtifactCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ArtifactCache { dir })
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// Probes the cache for `key`.
+    pub fn load(&self, key: &CacheKey) -> Lookup {
+        let path = self.path_of(key);
+        let raw = match fs::read(&path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Lookup::Miss,
+            Err(_) => return Lookup::Corrupt,
+        };
+        if raw.len() < HEADER_BYTES || raw[..4] != MAGIC {
+            return Lookup::Corrupt;
+        }
+        let stored_crc = u32::from_le_bytes(raw[4..8].try_into().expect("4 bytes"));
+        let len = u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes"));
+        let payload = &raw[HEADER_BYTES..];
+        if payload.len() as u64 != len || crc32(payload) != stored_crc {
+            return Lookup::Corrupt;
+        }
+        Lookup::Hit(payload.to_vec())
+    }
+
+    /// Stores `payload` under `key` (overwriting any existing entry)
+    /// via a temp-file write and atomic rename.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures; the engine treats a failed store
+    /// as non-fatal (the artifact is already in memory).
+    pub fn store(&self, key: &CacheKey, payload: &[u8]) -> io::Result<()> {
+        let path = self.path_of(key);
+        let tmp = self
+            .dir
+            .join(format!(".{}.tmp-{}", key.file_name(), std::process::id()));
+        let mut raw = Vec::with_capacity(HEADER_BYTES + payload.len());
+        raw.extend_from_slice(&MAGIC);
+        raw.extend_from_slice(&crc32(payload).to_le_bytes());
+        raw.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        raw.extend_from_slice(payload);
+        fs::write(&tmp, &raw)?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ccc-cache-test-{tag}-{}", std::process::id()))
+    }
+
+    fn key(label: &str) -> CacheKey {
+        let mut h = Fnv128::new();
+        h.update_str(label);
+        CacheKey::new("image", label, &h)
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = scratch("roundtrip");
+        let cache = ArtifactCache::open(&dir).unwrap();
+        let k = key("compress-full");
+        assert!(matches!(cache.load(&k), Lookup::Miss));
+        cache.store(&k, b"payload bytes").unwrap();
+        match cache.load(&k) {
+            Lookup::Hit(p) => assert_eq!(p, b"payload bytes"),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected_not_served() {
+        let dir = scratch("corrupt");
+        let cache = ArtifactCache::open(&dir).unwrap();
+        let k = key("go-tailored");
+        cache.store(&k, b"some artifact payload").unwrap();
+        let path = dir.join(k.file_name());
+
+        // Flip a payload byte: CRC must catch it.
+        let mut raw = fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xff;
+        fs::write(&path, &raw).unwrap();
+        assert!(matches!(cache.load(&k), Lookup::Corrupt));
+
+        // Truncate mid-payload: length check must catch it.
+        raw.truncate(raw.len() - 3);
+        fs::write(&path, &raw).unwrap();
+        assert!(matches!(cache.load(&k), Lookup::Corrupt));
+
+        // Wreck the magic.
+        fs::write(&path, b"XXXX").unwrap();
+        assert!(matches!(cache.load(&k), Lookup::Corrupt));
+
+        // A rebuild overwrites the damaged entry.
+        cache.store(&k, b"fresh").unwrap();
+        assert!(matches!(cache.load(&k), Lookup::Hit(p) if p == b"fresh"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn distinct_keys_distinct_files() {
+        let a = key("compress-full");
+        let b = key("compress-byte");
+        assert_ne!(a.file_name(), b.file_name());
+        let odd = CacheKey::new("report", "weird name/with:stuff", &Fnv128::new());
+        assert!(!odd.file_name().contains('/'));
+        assert!(!odd.file_name().contains(':'));
+    }
+}

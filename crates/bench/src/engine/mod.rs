@@ -1,0 +1,764 @@
+//! The parallel prepared-workload engine.
+//!
+//! Every experiment binary needs the same prepared state: each workload
+//! compiled, traced, and encoded under each scheme. Before this engine
+//! existed, every binary recomputed all of it serially; now preparation
+//! fans out across cores through a work-stealing pool ([`pool`]) and
+//! each artifact is persisted in a content-addressed cache ([`cache`]),
+//! so a warm run skips compile/emulate/encode entirely.
+//!
+//! ## Cache-key scheme
+//!
+//! A key is FNV-1a/128 over, in order: the engine schema version
+//! ([`ENGINE_SCHEMA_VERSION`]), the artifact kind, the wire/codec
+//! version the payload will be written with, the workload name, the
+//! full workload source text, the compiler-options fingerprint and (for
+//! images) the scheme name. Any input change — a `.tink` edit, a codec
+//! change with its [`CODEC_VERSION`] bump, different `lego::Options` —
+//! yields a different key, so entries are immutable and never
+//! invalidated in place. See DESIGN.md §10.
+
+pub mod cache;
+pub mod pool;
+
+use crate::Prepared;
+use cache::{ArtifactCache, CacheKey, Lookup};
+use ccc_core::schemes::base::encode_base;
+use ccc_core::schemes::{
+    base::BaseScheme, byte::ByteScheme, full::FullScheme, stream::StreamScheme,
+    tailored::TailoredScheme, CompressError, Scheme,
+};
+use ccc_core::{CompressionReport, EncodedProgram, CODEC_VERSION};
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use tepic_isa::wire::{Fnv128, WireError};
+use tepic_isa::{Program, PROGRAM_WIRE_VERSION};
+use tinker_workloads::{Workload, WorkloadError};
+use yula::{BlockTrace, Emulator, Limits, TRACE_WIRE_VERSION};
+
+/// Version of the engine's key derivation itself plus everything the
+/// wire versions do *not* capture (compiler and emulator behaviour).
+/// Bump to invalidate every artifact at once.
+pub const ENGINE_SCHEMA_VERSION: u32 = 1;
+
+/// The scheme axis of the preparation matrix, in figure order.
+pub const MATRIX_SCHEMES: [&str; 5] = ["byte", "stream", "stream_1", "full", "tailored"];
+
+/// Instantiates a scheme by its figure name (including `base`).
+pub fn scheme_by_name(name: &str) -> Option<Box<dyn Scheme>> {
+    match name {
+        "base" => Some(Box::new(BaseScheme)),
+        "byte" => Some(Box::new(ByteScheme::default())),
+        "full" => Some(Box::new(FullScheme::default())),
+        "tailored" => Some(Box::new(TailoredScheme)),
+        other => StreamScheme::named(other).map(|s| Box::new(s) as Box<dyn Scheme>),
+    }
+}
+
+/// Why one workload failed to prepare.
+#[derive(Debug)]
+pub enum PrepareError {
+    /// Compilation or emulation failed.
+    Workload(WorkloadError),
+    /// A scheme failed to encode the compiled program.
+    Compress {
+        /// Scheme name (`byte`, `full`, ...).
+        scheme: String,
+        /// The underlying codec failure.
+        error: CompressError,
+    },
+}
+
+impl fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrepareError::Workload(e) => write!(f, "{e}"),
+            PrepareError::Compress { scheme, error } => write!(f, "{scheme}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+impl From<WorkloadError> for PrepareError {
+    fn from(e: WorkloadError) -> Self {
+        PrepareError::Workload(e)
+    }
+}
+
+/// One workload's failure, named.
+#[derive(Debug)]
+pub struct WorkloadFailure {
+    /// The workload that failed.
+    pub workload: String,
+    /// What went wrong.
+    pub error: PrepareError,
+}
+
+/// Aggregated preparation failures — one entry per failed workload, so
+/// a broken suite reports every casualty in one pass instead of
+/// panicking at the first.
+#[derive(Debug)]
+pub struct PrepareErrors {
+    /// Per-workload failures, in workload order.
+    pub failures: Vec<WorkloadFailure>,
+}
+
+impl fmt::Display for PrepareErrors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} workload(s) failed to prepare:", self.failures.len())?;
+        for fail in &self.failures {
+            write!(f, "\n  {}: {}", fail.workload, fail.error)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PrepareErrors {}
+
+/// Counter/timer snapshot of one engine's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    /// Cache hits for compiled programs.
+    pub program_hits: u64,
+    /// Cache misses (artifact rebuilt) for compiled programs.
+    pub program_misses: u64,
+    /// Cache hits for block traces.
+    pub trace_hits: u64,
+    /// Cache misses for block traces.
+    pub trace_misses: u64,
+    /// Cache hits for encoded images (the preparation matrix).
+    pub image_hits: u64,
+    /// Cache misses for encoded images.
+    pub image_misses: u64,
+    /// Cache hits for compression reports.
+    pub report_hits: u64,
+    /// Cache misses for compression reports.
+    pub report_misses: u64,
+    /// Entries found damaged (bad CRC/magic/decode) and rebuilt.
+    pub corrupt_entries: u64,
+    /// Wall-clock nanoseconds spent compiling (cold path only).
+    pub compile_ns: u64,
+    /// Wall-clock nanoseconds spent emulating (cold path only).
+    pub emulate_ns: u64,
+    /// Wall-clock nanoseconds spent encoding images (cold path only).
+    pub encode_ns: u64,
+    /// Wall-clock nanoseconds spent building reports (cold path only).
+    pub report_ns: u64,
+}
+
+impl EngineSnapshot {
+    /// Total cache hits across artifact kinds.
+    pub fn hits(&self) -> u64 {
+        self.program_hits + self.trace_hits + self.image_hits + self.report_hits
+    }
+
+    /// Total cache misses across artifact kinds.
+    pub fn misses(&self) -> u64 {
+        self.program_misses + self.trace_misses + self.image_misses + self.report_misses
+    }
+
+    /// Renders the per-stage wall clock and hit/miss table the bench
+    /// driver prints.
+    pub fn render(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = String::new();
+        out.push_str("engine: stage wall-clock (cold work only) and cache traffic\n");
+        out.push_str(&format!(
+            "  compile {:>9.1} ms   emulate {:>9.1} ms   encode {:>9.1} ms   report {:>9.1} ms\n",
+            ms(self.compile_ns),
+            ms(self.emulate_ns),
+            ms(self.encode_ns),
+            ms(self.report_ns),
+        ));
+        out.push_str(&format!(
+            "  cache   program {}/{}   trace {}/{}   image {}/{}   report {}/{}   (hit/miss)\n",
+            self.program_hits,
+            self.program_misses,
+            self.trace_hits,
+            self.trace_misses,
+            self.image_hits,
+            self.image_misses,
+            self.report_hits,
+            self.report_misses,
+        ));
+        if self.corrupt_entries > 0 {
+            out.push_str(&format!(
+                "  corrupt entries detected and rebuilt: {}\n",
+                self.corrupt_entries
+            ));
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    program_hits: AtomicU64,
+    program_misses: AtomicU64,
+    trace_hits: AtomicU64,
+    trace_misses: AtomicU64,
+    image_hits: AtomicU64,
+    image_misses: AtomicU64,
+    report_hits: AtomicU64,
+    report_misses: AtomicU64,
+    corrupt_entries: AtomicU64,
+    compile_ns: AtomicU64,
+    emulate_ns: AtomicU64,
+    encode_ns: AtomicU64,
+    report_ns: AtomicU64,
+}
+
+#[derive(Clone, Copy)]
+enum Kind {
+    Program,
+    Trace,
+    Image,
+    Report,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Program => "program",
+            Kind::Trace => "trace",
+            Kind::Image => "image",
+            Kind::Report => "report",
+        }
+    }
+}
+
+/// Sensible worker count for this host.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The default on-disk cache location (under the build tree, so
+/// `cargo clean` clears it).
+pub fn default_cache_dir() -> PathBuf {
+    PathBuf::from("target/ccc-artifacts")
+}
+
+/// The prepared-workload engine: a worker pool plus an optional
+/// content-addressed artifact cache. Shared by reference across worker
+/// threads; all counters are atomic.
+#[derive(Debug)]
+pub struct Engine {
+    jobs: usize,
+    cache: Option<ArtifactCache>,
+    counters: Counters,
+}
+
+impl Engine {
+    /// An engine with no on-disk cache — every artifact is rebuilt.
+    pub fn uncached(jobs: usize) -> Engine {
+        Engine {
+            jobs: jobs.max(1),
+            cache: None,
+            counters: Counters::default(),
+        }
+    }
+
+    /// An engine caching under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure to create the cache directory.
+    pub fn with_cache_dir(jobs: usize, dir: impl Into<PathBuf>) -> io::Result<Engine> {
+        Ok(Engine {
+            jobs: jobs.max(1),
+            cache: Some(ArtifactCache::open(dir)?),
+            counters: Counters::default(),
+        })
+    }
+
+    /// An engine configured from the environment: `CCC_JOBS` (default:
+    /// all cores), `CCC_NO_CACHE=1` to disable caching, `CCC_CACHE_DIR`
+    /// to relocate it (default `target/ccc-artifacts`). If the cache
+    /// directory cannot be created, the engine runs uncached and says so
+    /// on stderr.
+    pub fn from_env() -> Engine {
+        let jobs = std::env::var("CCC_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(default_jobs);
+        if std::env::var("CCC_NO_CACHE").is_ok_and(|v| v == "1") {
+            return Engine::uncached(jobs);
+        }
+        let dir = std::env::var("CCC_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| default_cache_dir());
+        match Engine::with_cache_dir(jobs, &dir) {
+            Ok(e) => e,
+            Err(err) => {
+                eprintln!(
+                    "warning: artifact cache unavailable at {}: {err}",
+                    dir.display()
+                );
+                Engine::uncached(jobs)
+            }
+        }
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Whether an on-disk cache is attached.
+    pub fn is_cached(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Snapshot of counters and stage timers.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let c = &self.counters;
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        EngineSnapshot {
+            program_hits: g(&c.program_hits),
+            program_misses: g(&c.program_misses),
+            trace_hits: g(&c.trace_hits),
+            trace_misses: g(&c.trace_misses),
+            image_hits: g(&c.image_hits),
+            image_misses: g(&c.image_misses),
+            report_hits: g(&c.report_hits),
+            report_misses: g(&c.report_misses),
+            corrupt_entries: g(&c.corrupt_entries),
+            compile_ns: g(&c.compile_ns),
+            emulate_ns: g(&c.emulate_ns),
+            encode_ns: g(&c.encode_ns),
+            report_ns: g(&c.report_ns),
+        }
+    }
+
+    fn bump(&self, kind: Kind, hit: bool) {
+        let c = &self.counters;
+        let ctr = match (kind, hit) {
+            (Kind::Program, true) => &c.program_hits,
+            (Kind::Program, false) => &c.program_misses,
+            (Kind::Trace, true) => &c.trace_hits,
+            (Kind::Trace, false) => &c.trace_misses,
+            (Kind::Image, true) => &c.image_hits,
+            (Kind::Image, false) => &c.image_misses,
+            (Kind::Report, true) => &c.report_hits,
+            (Kind::Report, false) => &c.report_misses,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn timer_of(&self, kind: Kind) -> &AtomicU64 {
+        match kind {
+            Kind::Program => &self.counters.compile_ns,
+            Kind::Trace => &self.counters.emulate_ns,
+            Kind::Image => &self.counters.encode_ns,
+            Kind::Report => &self.counters.report_ns,
+        }
+    }
+
+    /// The shared cached-artifact path: probe, decode, else build, store.
+    fn cached<T>(
+        &self,
+        kind: Kind,
+        key: &CacheKey,
+        decode: impl Fn(&[u8]) -> Result<T, WireError>,
+        encode: impl Fn(&T) -> Vec<u8>,
+        build: impl FnOnce() -> Result<T, PrepareError>,
+    ) -> Result<T, PrepareError> {
+        if let Some(cache) = &self.cache {
+            match cache.load(key) {
+                Lookup::Hit(payload) => match decode(&payload) {
+                    Ok(v) => {
+                        self.bump(kind, true);
+                        return Ok(v);
+                    }
+                    Err(_) => {
+                        // CRC passed but the payload does not parse:
+                        // treat exactly like a damaged entry.
+                        self.counters
+                            .corrupt_entries
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                Lookup::Corrupt => {
+                    self.counters
+                        .corrupt_entries
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Lookup::Miss => {}
+            }
+        }
+        let start = Instant::now();
+        let value = build()?;
+        self.timer_of(kind)
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.bump(kind, false);
+        if let Some(cache) = &self.cache {
+            // A failed store is not fatal — the artifact is in memory.
+            let _ = cache.store(key, &encode(&value));
+        }
+        Ok(value)
+    }
+
+    fn key(&self, kind: Kind, label: String, parts: &dyn Fn(&mut Fnv128)) -> CacheKey {
+        let mut h = Fnv128::new();
+        h.update_u32(ENGINE_SCHEMA_VERSION);
+        h.update_str(kind.name());
+        parts(&mut h);
+        CacheKey::new(kind.name(), label, &h)
+    }
+
+    fn source_parts(h: &mut Fnv128, name: &str, source: &str, opts: &lego::Options) {
+        h.update_str(name);
+        h.update_str(source);
+        h.update_str(&options_fingerprint(opts));
+    }
+
+    /// The compiled program for `source` (cached).
+    ///
+    /// # Errors
+    ///
+    /// [`PrepareError::Workload`] on compile failure.
+    pub fn program(
+        &self,
+        name: &str,
+        source: &str,
+        opts: &lego::Options,
+    ) -> Result<Program, PrepareError> {
+        let key = self.key(Kind::Program, name.to_string(), &|h| {
+            h.update_u32(PROGRAM_WIRE_VERSION);
+            Self::source_parts(h, name, source, opts);
+        });
+        self.cached(
+            Kind::Program,
+            &key,
+            tepic_isa::program_from_bytes,
+            tepic_isa::program_to_bytes,
+            || {
+                lego::compile(source, opts)
+                    .map_err(|e| PrepareError::Workload(WorkloadError::Compile(e)))
+            },
+        )
+    }
+
+    /// The dynamic block trace of `program` (cached). `program` must be
+    /// the artifact [`Engine::program`] returns for the same inputs.
+    ///
+    /// # Errors
+    ///
+    /// [`PrepareError::Workload`] on emulation failure.
+    pub fn trace(
+        &self,
+        name: &str,
+        source: &str,
+        opts: &lego::Options,
+        program: &Program,
+    ) -> Result<BlockTrace, PrepareError> {
+        let key = self.key(Kind::Trace, name.to_string(), &|h| {
+            h.update_u32(TRACE_WIRE_VERSION);
+            Self::source_parts(h, name, source, opts);
+        });
+        self.cached(
+            Kind::Trace,
+            &key,
+            BlockTrace::from_wire_bytes,
+            BlockTrace::to_wire_bytes,
+            || {
+                Emulator::new(program)
+                    .run(&Limits::default())
+                    .map(|r| r.trace)
+                    .map_err(|e| PrepareError::Workload(WorkloadError::Run(e)))
+            },
+        )
+    }
+
+    /// The encoded image of `program` under `scheme` (cached) — one cell
+    /// of the preparation matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`PrepareError::Compress`] when the scheme rejects the program;
+    /// also if `scheme` names no known scheme.
+    pub fn image(
+        &self,
+        name: &str,
+        source: &str,
+        opts: &lego::Options,
+        scheme: &str,
+        program: &Program,
+    ) -> Result<EncodedProgram, PrepareError> {
+        let key = self.key(Kind::Image, format!("{name}-{scheme}"), &|h| {
+            h.update_u32(CODEC_VERSION);
+            Self::source_parts(h, name, source, opts);
+            h.update_str(scheme);
+        });
+        self.cached(
+            Kind::Image,
+            &key,
+            ccc_core::encoded_from_bytes,
+            ccc_core::encoded_to_bytes,
+            || {
+                let s = scheme_by_name(scheme).ok_or_else(|| PrepareError::Compress {
+                    scheme: scheme.to_string(),
+                    error: CompressError::Integrity {
+                        detail: "unknown scheme name",
+                    },
+                })?;
+                s.compress(program)
+                    .map(|out| out.image)
+                    .map_err(|error| PrepareError::Compress {
+                        scheme: scheme.to_string(),
+                        error,
+                    })
+            },
+        )
+    }
+
+    /// The full cross-scheme [`CompressionReport`] for `program`
+    /// (cached) — the data behind Figures 5, 7 and 10.
+    pub fn report(
+        &self,
+        name: &str,
+        source: &str,
+        opts: &lego::Options,
+        program: &Program,
+    ) -> CompressionReport {
+        let key = self.key(Kind::Report, name.to_string(), &|h| {
+            h.update_u32(CODEC_VERSION);
+            Self::source_parts(h, name, source, opts);
+        });
+        self.cached(
+            Kind::Report,
+            &key,
+            ccc_core::report_from_bytes,
+            ccc_core::report_to_bytes,
+            || Ok(CompressionReport::build(name, program)),
+        )
+        .expect("report build is infallible")
+    }
+
+    /// Prepares `list` in parallel: compile + trace per workload, then
+    /// the workload x scheme image matrix, all through the cache.
+    ///
+    /// # Errors
+    ///
+    /// [`PrepareErrors`] aggregating every failed workload (the paper
+    /// harness cannot proceed on partial data, but it *can* report all
+    /// casualties at once instead of panicking at the first).
+    pub fn prepare(&self, list: &[&'static Workload]) -> Result<Vec<Prepared>, PrepareErrors> {
+        let opts = lego::Options::default();
+
+        // Stage 1: compile + trace, one task per workload.
+        let stage1 = pool::run_tasks(
+            self.jobs,
+            list.iter()
+                .map(|w| {
+                    let opts = &opts;
+                    move || -> Result<(Program, BlockTrace), PrepareError> {
+                        let program = self.program(w.name, w.source(), opts)?;
+                        let trace = self.trace(w.name, w.source(), opts, &program)?;
+                        Ok((program, trace))
+                    }
+                })
+                .collect(),
+        );
+
+        // Stage 2: the image matrix over every workload that compiled.
+        let mut matrix_tasks: Vec<(usize, &'static str, &Program, &'static Workload)> = Vec::new();
+        for (wi, (w, r)) in list.iter().zip(&stage1).enumerate() {
+            if let Ok((program, _)) = r {
+                for scheme in MATRIX_SCHEMES {
+                    matrix_tasks.push((wi, scheme, program, w));
+                }
+            }
+        }
+        let images = pool::run_tasks(
+            self.jobs,
+            matrix_tasks
+                .iter()
+                .map(|&(_, scheme, program, w)| {
+                    let opts = &opts;
+                    move || self.image(w.name, w.source(), opts, scheme, program)
+                })
+                .collect(),
+        );
+
+        // Aggregate: pair matrix results back to workloads, keeping the
+        // first error per workload (stage-1 errors already won above).
+        let mut per_workload: Vec<Result<Vec<EncodedProgram>, PrepareError>> =
+            list.iter().map(|_| Ok(Vec::new())).collect();
+        for (&(wi, _, _, _), img) in matrix_tasks.iter().zip(images) {
+            match (&mut per_workload[wi], img) {
+                (Ok(v), Ok(img)) => v.push(img),
+                (slot @ Ok(_), Err(e)) => *slot = Err(e),
+                (Err(_), _) => {}
+            }
+        }
+
+        let mut prepared = Vec::new();
+        let mut failures = Vec::new();
+        for ((w, stage1), images) in list.iter().zip(stage1).zip(per_workload) {
+            match (stage1, images) {
+                (Ok((program, trace)), Ok(images)) => {
+                    let [byte_img, stream_img, stream1_img, compressed_img, tailored_img]: [EncodedProgram;
+                        5] = images.try_into().expect("five matrix schemes");
+                    let base_img = encode_base(&program);
+                    prepared.push(Prepared {
+                        workload: w,
+                        program,
+                        trace,
+                        base_img,
+                        byte_img,
+                        stream_img,
+                        stream1_img,
+                        compressed_img,
+                        tailored_img,
+                    });
+                }
+                (Err(error), _) | (Ok(_), Err(error)) => failures.push(WorkloadFailure {
+                    workload: w.name.to_string(),
+                    error,
+                }),
+            }
+        }
+        if failures.is_empty() {
+            Ok(prepared)
+        } else {
+            Err(PrepareErrors { failures })
+        }
+    }
+
+    /// Prepares the whole benchmark suite ([`tinker_workloads::ALL`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::prepare`].
+    pub fn prepare_all(&self) -> Result<Vec<Prepared>, PrepareErrors> {
+        let list: Vec<&'static Workload> = tinker_workloads::ALL.iter().collect();
+        self.prepare(&list)
+    }
+
+    /// Builds (cached, in parallel) the per-workload compression reports
+    /// for already-prepared workloads.
+    pub fn reports(&self, prepared: &[Prepared]) -> Vec<CompressionReport> {
+        let opts = lego::Options::default();
+        pool::run_tasks(
+            self.jobs,
+            prepared
+                .iter()
+                .map(|p| {
+                    let opts = &opts;
+                    move || self.report(p.workload.name, p.workload.source(), opts, &p.program)
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Stable textual fingerprint of the compiler options that affect
+/// generated code (part of every cache key).
+fn options_fingerprint(o: &lego::Options) -> String {
+    format!(
+        "optimize={};opt_iters={};data_base={:#x};tail_duplicate={:?}",
+        o.optimize, o.opt_iters, o.data_base, o.tail_duplicate
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &Workload = &Workload::custom(
+        "engine-good",
+        "tiny valid workload",
+        "fn main() { var i; for (i = 0; i < 40; i = i + 1) { print(i * i); } }",
+    );
+    const ALSO_GOOD: &Workload = &Workload::custom(
+        "engine-good-2",
+        "another tiny valid workload",
+        "fn main() { var i; var s = 0; for (i = 0; i < 30; i = i + 1) { s = s + i; } print(s); }",
+    );
+    const BAD: &Workload = &Workload::custom(
+        "engine-bad",
+        "does not even parse",
+        "fn main( { this is not tink ",
+    );
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ccc-engine-test-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn failures_are_aggregated_per_workload_not_panicked() {
+        let eng = Engine::uncached(2);
+        let err = eng
+            .prepare(&[GOOD, BAD, ALSO_GOOD])
+            .expect_err("bad workload must fail the batch");
+        assert_eq!(err.failures.len(), 1, "only the bad workload fails");
+        assert_eq!(err.failures[0].workload, "engine-bad");
+        assert!(matches!(
+            err.failures[0].error,
+            PrepareError::Workload(WorkloadError::Compile(_))
+        ));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("engine-bad"),
+            "message names the workload: {msg}"
+        );
+    }
+
+    #[test]
+    fn good_workloads_prepare_fully() {
+        let eng = Engine::uncached(4);
+        let prepared = eng.prepare(&[GOOD]).unwrap();
+        assert_eq!(prepared.len(), 1);
+        let p = &prepared[0];
+        assert!(p.program.num_ops() > 0);
+        assert!(!p.trace.is_empty());
+        for (name, img) in p.images() {
+            assert!(img.check_layout(), "{name} layout");
+            assert!(img.total_bytes() > 0, "{name} empty");
+        }
+        let snap = eng.snapshot();
+        assert_eq!(snap.hits(), 0, "uncached engine never hits");
+        assert_eq!(snap.image_misses, MATRIX_SCHEMES.len() as u64);
+    }
+
+    #[test]
+    fn warm_run_serves_every_artifact_from_cache() {
+        let dir = scratch("warm");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = Engine::with_cache_dir(2, &dir).unwrap();
+        let a = cold.prepare(&[GOOD]).unwrap();
+        let snap = cold.snapshot();
+        assert_eq!(snap.misses(), 2 + MATRIX_SCHEMES.len() as u64);
+        assert_eq!(snap.hits(), 0);
+
+        let warm = Engine::with_cache_dir(2, &dir).unwrap();
+        let b = warm.prepare(&[GOOD]).unwrap();
+        let snap = warm.snapshot();
+        assert_eq!(snap.misses(), 0, "warm run must rebuild nothing");
+        assert_eq!(snap.hits(), 2 + MATRIX_SCHEMES.len() as u64);
+
+        assert_eq!(a[0].program, b[0].program);
+        assert_eq!(a[0].trace, b[0].trace);
+        for ((na, ia), (nb, ib)) in a[0].images().zip(b[0].images()) {
+            assert_eq!(na, nb);
+            assert_eq!(ia, ib, "{na}: warm image differs from cold");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scheme_registry_matches_matrix() {
+        for s in MATRIX_SCHEMES {
+            assert!(scheme_by_name(s).is_some(), "{s} missing");
+        }
+        assert!(scheme_by_name("base").is_some());
+        assert!(scheme_by_name("no-such-scheme").is_none());
+    }
+}

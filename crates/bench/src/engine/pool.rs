@@ -1,0 +1,164 @@
+//! A minimal work-stealing executor on scoped OS threads.
+//!
+//! The preparation matrix (8 workloads x 5 schemes, plus the
+//! compile/trace stage feeding it) is an embarrassingly parallel batch
+//! of uneven tasks: compiling `gcc` costs many times a `fig05` encode.
+//! Static partitioning would leave workers idle behind the long pole, so
+//! each worker owns a deque seeded round-robin and steals from the tail
+//! of its neighbours when it runs dry.
+//!
+//! No crates.io dependencies (the build is offline — see DESIGN.md §6):
+//! the deques are `Mutex<VecDeque<usize>>`, which for task counts in the
+//! tens is contention-free in practice. Results are returned in task
+//! order regardless of execution interleaving, so parallel runs are
+//! bit-identical to `jobs = 1` runs as long as the tasks themselves are
+//! pure — which the determinism suite asserts end to end.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Runs every task, using up to `jobs` worker threads, and returns the
+/// results in task order.
+///
+/// `jobs` is clamped to `1..=tasks.len()`; `jobs <= 1` runs inline on
+/// the caller's thread with no locking at all (the reference serial
+/// schedule).
+///
+/// # Panics
+///
+/// Propagates the first panicking task's payload after all workers have
+/// stopped (via [`std::thread::scope`]).
+pub fn run_tasks<T, F>(jobs: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, n);
+    if jobs == 1 {
+        return tasks.into_iter().map(|t| t()).collect();
+    }
+
+    // Task slots (taken exactly once, guarded by deque ownership of the
+    // index), per-worker deques, and order-preserving result slots.
+    let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, d) in (0..n).map(|i| (i, i % jobs)) {
+        deques[d].lock().expect("seeding").push_back(i);
+    }
+
+    std::thread::scope(|scope| {
+        for me in 0..jobs {
+            let slots = &slots;
+            let results = &results;
+            let deques = &deques;
+            scope.spawn(move || loop {
+                // Own work first (front), then steal from a victim's tail.
+                let mut found = deques[me].lock().expect("own deque").pop_front();
+                if found.is_none() {
+                    for k in 1..jobs {
+                        let victim = (me + k) % jobs;
+                        if let Some(i) = deques[victim].lock().expect("victim deque").pop_back() {
+                            found = Some(i);
+                            break;
+                        }
+                    }
+                }
+                let Some(i) = found else { break };
+                let task = slots[i]
+                    .lock()
+                    .expect("task slot")
+                    .take()
+                    .expect("task ran twice");
+                let out = task();
+                *results[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock")
+                .expect("task completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_task_order() {
+        for jobs in [1, 2, 4, 8] {
+            let tasks: Vec<_> = (0..37).map(|i| move || i * 3).collect();
+            let out = run_tasks(jobs, tasks);
+            assert_eq!(
+                out,
+                (0..37).map(|i| i * 3).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        static HITS: AtomicUsize = AtomicUsize::new(0);
+        HITS.store(0, Ordering::SeqCst);
+        let tasks: Vec<_> = (0..100)
+            .map(|i| {
+                move || {
+                    HITS.fetch_add(1, Ordering::SeqCst);
+                    i
+                }
+            })
+            .collect();
+        let out = run_tasks(8, tasks);
+        assert_eq!(HITS.load(Ordering::SeqCst), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn uneven_tasks_complete() {
+        // Front-loads one long task so other workers must steal the rest.
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> usize + Send> = if i == 0 {
+                    Box::new(|| (0..2_000_000u64).fold(0u64, |a, b| a ^ b) as usize)
+                } else {
+                    Box::new(move || i)
+                };
+                f
+            })
+            .collect();
+        let out = run_tasks(4, tasks);
+        assert_eq!(out[1..], (1..16).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn empty_and_oversubscribed() {
+        let none: Vec<fn() -> u32> = Vec::new();
+        assert!(run_tasks(8, none).is_empty());
+        let out = run_tasks(64, vec![|| 1u32, || 2u32]);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn tasks_may_borrow_caller_state() {
+        let data: Vec<u64> = (0..50).collect();
+        let tasks: Vec<_> = data
+            .chunks(7)
+            .map(|c| move || c.iter().sum::<u64>())
+            .collect();
+        let sums = run_tasks(3, tasks);
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+}

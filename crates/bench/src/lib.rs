@@ -14,19 +14,22 @@
 //! | `table2_formats` | Table 2 — TEPIC formats |
 //! | `diag` | workload inventory sanity |
 //!
-//! This library holds the shared plumbing: compiling and tracing every
-//! workload once, building every encoding, and the text-table renderer.
+//! This library holds the shared plumbing: the parallel prepared-
+//! workload [`engine`] (worker pool + content-addressed artifact cache),
+//! the pure figure renderers ([`figures`]), and the text-table renderer.
 
-use ccc_core::schemes::base::encode_base;
-use ccc_core::schemes::{full::FullScheme, tailored::TailoredScheme, Scheme};
+pub mod engine;
+pub mod figures;
+
 use ccc_core::EncodedProgram;
 use ifetch_sim::{simulate, FetchConfig, FetchResult};
 use tepic_isa::Program;
 use tinker_workloads::Workload;
 use yula::BlockTrace;
 
-/// A fully prepared workload: compiled, traced, and encoded in the three
-/// executable address spaces of the cache study.
+/// A fully prepared workload: compiled, traced, and encoded under every
+/// scheme of the paper's Figure-5 matrix plus the uncompressed base.
+#[derive(Debug)]
 pub struct Prepared {
     /// The workload descriptor.
     pub workload: &'static Workload,
@@ -36,44 +39,54 @@ pub struct Prepared {
     pub trace: BlockTrace,
     /// Uncompressed image.
     pub base_img: EncodedProgram,
-    /// Tailored image.
-    pub tailored_img: EncodedProgram,
+    /// Byte-wise Huffman image.
+    pub byte_img: EncodedProgram,
+    /// Stream Huffman image (the `stream` configuration).
+    pub stream_img: EncodedProgram,
+    /// Stream Huffman image (the `stream_1` configuration).
+    pub stream1_img: EncodedProgram,
     /// Full-op compressed image.
     pub compressed_img: EncodedProgram,
+    /// Tailored image.
+    pub tailored_img: EncodedProgram,
 }
 
-/// Compiles, runs and encodes every workload.
+impl Prepared {
+    /// The encoded image for a figure scheme name (including `base`).
+    pub fn image(&self, scheme: &str) -> Option<&EncodedProgram> {
+        match scheme {
+            "base" => Some(&self.base_img),
+            "byte" => Some(&self.byte_img),
+            "stream" => Some(&self.stream_img),
+            "stream_1" => Some(&self.stream1_img),
+            "full" => Some(&self.compressed_img),
+            "tailored" => Some(&self.tailored_img),
+            _ => None,
+        }
+    }
+
+    /// The matrix images in figure order, named.
+    pub fn images(&self) -> impl Iterator<Item = (&'static str, &EncodedProgram)> {
+        [
+            ("byte", &self.byte_img),
+            ("stream", &self.stream_img),
+            ("stream_1", &self.stream1_img),
+            ("full", &self.compressed_img),
+            ("tailored", &self.tailored_img),
+        ]
+        .into_iter()
+    }
+}
+
+/// Compiles, runs and encodes every workload through an engine
+/// configured from the environment (`CCC_JOBS`, `CCC_CACHE_DIR`,
+/// `CCC_NO_CACHE` — see [`engine::Engine::from_env`]).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when a workload fails — the harness cannot proceed on partial
-/// data.
-pub fn prepare_all() -> Vec<Prepared> {
-    tinker_workloads::ALL
-        .iter()
-        .map(|w| {
-            let (program, run) = w
-                .compile_and_run()
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            let base_img = encode_base(&program);
-            let tailored_img = TailoredScheme
-                .compress(&program)
-                .unwrap_or_else(|e| panic!("{} tailored: {e}", w.name))
-                .image;
-            let compressed_img = FullScheme::default()
-                .compress(&program)
-                .unwrap_or_else(|e| panic!("{} full: {e}", w.name))
-                .image;
-            Prepared {
-                workload: w,
-                program,
-                trace: run.trace,
-                base_img,
-                tailored_img,
-                compressed_img,
-            }
-        })
-        .collect()
+/// [`engine::PrepareErrors`] aggregating every workload that failed.
+pub fn prepare_all() -> Result<Vec<Prepared>, engine::PrepareErrors> {
+    engine::Engine::from_env().prepare_all()
 }
 
 /// The Figure-13 quartet for one prepared workload.

@@ -45,9 +45,13 @@ pub mod integrity;
 pub mod pla;
 pub mod report;
 pub mod schemes;
+pub mod serialize;
 
 pub use att::{AddressTranslationTable, AttEntry, ATT_ENTRY_BYTES};
 pub use encoded::{DecoderCost, EncodedProgram, SchemeKind};
 pub use fault::{CampaignConfig, CampaignReport, FaultInjector, FaultKind, FaultTarget, Outcome};
 pub use integrity::{crc32, crc8, parity_fold, IntegrityError};
 pub use report::{CompressionReport, SchemeRow};
+pub use serialize::{
+    encoded_from_bytes, encoded_to_bytes, report_from_bytes, report_to_bytes, CODEC_VERSION,
+};

@@ -36,7 +36,7 @@ mod trace;
 
 pub use machine::{EmuError, Emulator, Limits, RunResult, MEM_SIZE, RET_SENTINEL, STACK_TOP};
 pub use opmix::{OpCategory, OpMix};
-pub use trace::{BlockTrace, TraceStats};
+pub use trace::{BlockTrace, TraceStats, TRACE_WIRE_VERSION};
 
 /// Compiles-and-runs convenience used everywhere in tests and benches.
 ///

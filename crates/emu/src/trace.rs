@@ -1,5 +1,12 @@
 //! Dynamic block traces and derived statistics.
 
+use tepic_isa::wire::{WireError, WireReader, WireWriter};
+
+/// Version stamp of the [`BlockTrace`] wire layout (artifact cache).
+/// Bump when either the byte format *or* the emulator's tracing
+/// semantics change, so stale cached traces miss instead of lying.
+pub const TRACE_WIRE_VERSION: u32 = 1;
+
 /// The sequence of basic-block ids executed by a program run. This is the
 /// paper's "instruction address trace" at block granularity — exactly the
 /// information the ATB-driven fetch engine needs.
@@ -47,6 +54,40 @@ impl BlockTrace {
             counts[b as usize] += 1;
         }
         counts
+    }
+
+    /// Serializes the trace into the artifact-cache wire format:
+    /// `u32 version, u64 len, u32 block-id ...`.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u32(TRACE_WIRE_VERSION);
+        w.put_len(self.blocks.len());
+        for &b in &self.blocks {
+            w.put_u32(b);
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a trace written by [`BlockTrace::to_wire_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation, trailing bytes or version mismatch.
+    pub fn from_wire_bytes(bytes: &[u8]) -> Result<BlockTrace, WireError> {
+        let mut r = WireReader::new(bytes);
+        let version = r.get_u32()?;
+        if version != TRACE_WIRE_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let len = r.get_len()?;
+        let mut blocks = Vec::with_capacity(len);
+        for _ in 0..len {
+            blocks.push(r.get_u32()?);
+        }
+        if !r.is_exhausted() {
+            return Err(WireError::Invalid("trailing bytes after trace".into()));
+        }
+        Ok(BlockTrace { blocks })
     }
 }
 
@@ -134,5 +175,22 @@ mod tests {
         let t = BlockTrace::new();
         assert!(t.is_empty());
         assert_eq!(t.transitions().count(), 0);
+    }
+
+    #[test]
+    fn wire_roundtrip_and_corruption() {
+        let t: BlockTrace = [3u32, 1, 4, 1, 5, 9, 2, 6].into_iter().collect();
+        let bytes = t.to_wire_bytes();
+        assert_eq!(BlockTrace::from_wire_bytes(&bytes).unwrap(), t);
+        assert!(BlockTrace::from_wire_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(BlockTrace::from_wire_bytes(&extra).is_err());
+        let mut vers = bytes;
+        vers[0] ^= 0xff;
+        assert!(matches!(
+            BlockTrace::from_wire_bytes(&vers),
+            Err(WireError::BadVersion(_))
+        ));
     }
 }

@@ -47,9 +47,12 @@ pub mod image;
 pub mod mop;
 pub mod op;
 pub mod regs;
+pub mod serialize;
+pub mod wire;
 
 pub use image::{BlockId, BlockInfo, FuncInfo, Program};
 pub use op::{OpKind, Operation};
+pub use serialize::{program_from_bytes, program_to_bytes, PROGRAM_WIRE_VERSION};
 
 /// Size of one TEPIC operation in bits.
 pub const OP_BITS: u32 = 40;

@@ -63,9 +63,36 @@ impl fmt::Display for WorkloadError {
 impl std::error::Error for WorkloadError {}
 
 impl Workload {
+    /// Builds a workload from explicit parts — the benchmark suite uses
+    /// the [`ALL`] table, but harness tests (e.g. the engine's
+    /// failure-path coverage) need workloads with sources of their own.
+    pub const fn custom(
+        name: &'static str,
+        description: &'static str,
+        source: &'static str,
+    ) -> Workload {
+        Workload {
+            name,
+            description,
+            source,
+        }
+    }
+
     /// The Tink source text.
     pub fn source(&self) -> &'static str {
         self.source
+    }
+
+    /// Stable fingerprint of the workload's identity and source text.
+    /// This is what the artifact cache keys on: editing a benchmark's
+    /// `.tink` source changes the fingerprint and invalidates every
+    /// artifact derived from it.
+    pub fn fingerprint(&self) -> u64 {
+        let mut buf = Vec::with_capacity(self.name.len() + self.source.len() + 1);
+        buf.extend_from_slice(self.name.as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(self.source.as_bytes());
+        tepic_isa::wire::fnv1a64(&buf)
     }
 
     /// Compiles with the default (optimizing) LEGO options.
@@ -216,6 +243,21 @@ mod tests {
                 .output;
             assert_eq!(opt, unopt, "{}: optimizer changed behaviour", w.name);
         }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for w in &ALL {
+            assert_eq!(w.fingerprint(), w.fingerprint(), "{} unstable", w.name);
+            assert!(seen.insert(w.fingerprint()), "{} collides", w.name);
+        }
+        let custom = Workload::custom("compress", "different source", "fn main() { }");
+        assert_ne!(
+            custom.fingerprint(),
+            by_name("compress").unwrap().fingerprint(),
+            "source must be part of the fingerprint"
+        );
     }
 
     #[test]

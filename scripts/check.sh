@@ -10,6 +10,19 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> golden snapshot suite"
+cargo test -q --test golden
+
+echo "==> warm-cache bench smoke"
+# Cold run populates a scratch cache; the warm rerun must be served
+# entirely from it (--assert-warm exits non-zero on any cache miss).
+CCC_SMOKE_DIR="${TMPDIR:-/tmp}/ccc-bench-smoke-$$"
+rm -rf "$CCC_SMOKE_DIR"
+./target/release/tepic-cc bench --figures fig05 --cache-dir "$CCC_SMOKE_DIR" >/dev/null
+./target/release/tepic-cc bench --figures fig05 --cache-dir "$CCC_SMOKE_DIR" --assert-warm >/dev/null
+rm -rf "$CCC_SMOKE_DIR"
+echo "warm rerun fully cache-served"
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

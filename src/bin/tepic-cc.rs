@@ -8,14 +8,34 @@
 //! tepic-cc sim <file.tink>            fetch-pipeline study (Fig 13 row)
 //! tepic-cc stats <file.tink>          static + dynamic statistics
 //! tepic-cc faultsim <file.tink>       fault-injection campaign over all schemes
+//! tepic-cc bench [options]            the whole figure suite in one invocation
 //! ```
 //!
 //! With `-` as the file, source is read from stdin. `--no-opt` disables
 //! the optimizer. `--seed <u64>` sets the fault-campaign PRNG seed
 //! (default 42); equal seeds reproduce campaigns bit-for-bit.
+//!
+//! Every subcommand that compiles goes through the shared prepared-
+//! workload engine, so repeated invocations on the same source hit the
+//! content-addressed artifact cache (`target/ccc-artifacts` by default;
+//! `CCC_CACHE_DIR` relocates it, `CCC_NO_CACHE=1` disables it).
+//!
+//! `bench` options:
+//!
+//! ```text
+//! --jobs <N>        worker threads (default: all cores; CCC_JOBS)
+//! --no-cache        rebuild everything, skip the artifact cache
+//! --cache-dir <d>   cache location (default target/ccc-artifacts)
+//! --figures <list>  comma-separated subset (default: the core figures)
+//! --all             every figure, table and extension experiment
+//! --assert-warm     fail unless the run was served entirely from cache
+//! ```
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::time::Instant;
+use tepic_ccc::bench::engine::Engine;
+use tepic_ccc::bench::{figures, Prepared};
 use tepic_ccc::ccc::pla::emit_tailored_decoder_verilog;
 use tepic_ccc::ccc::schemes::tailored::TailoredSpec;
 use tepic_ccc::prelude::*;
@@ -23,13 +43,18 @@ use tepic_ccc::prelude::*;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tepic-cc <run|disasm|report|verilog|sim|stats|faultsim> <file.tink|-> \
-         [--no-opt] [--seed <u64>]"
+         [--no-opt] [--seed <u64>]\n\
+         \x20      tepic-cc bench [--jobs <N>] [--no-cache] [--cache-dir <dir>] \
+         [--figures <a,b,..>] [--all] [--assert-warm]"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        return bench_cmd(&args[1..]);
+    }
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) => (c.as_str(), f.as_str()),
         _ => return usage(),
@@ -71,7 +96,10 @@ fn main() -> ExitCode {
         optimize,
         ..lego::Options::default()
     };
-    let program = match lego::compile(&source, &opts) {
+    // The file's path names the cached artifacts; the key still hashes
+    // the source text, so editing the file misses cleanly.
+    let engine = Engine::from_env();
+    let program = match engine.program(file, &source, &opts) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("tepic-cc: {e}");
@@ -95,7 +123,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "report" => {
-            print!("{}", CompressionReport::build(file, &program));
+            print!("{}", engine.report(file, &source, &opts, &program));
             ExitCode::SUCCESS
         }
         "verilog" => {
@@ -107,20 +135,25 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "sim" => {
-            let run = match Emulator::new(&program).run(&Limits::default()) {
-                Ok(r) => r,
+            let trace = match engine.trace(file, &source, &opts, &program) {
+                Ok(t) => t,
                 Err(e) => {
                     eprintln!("tepic-cc: runtime error: {e}");
                     return ExitCode::FAILURE;
                 }
             };
             let base = schemes::base::encode_base(&program);
-            let tail = schemes::tailored::TailoredScheme
-                .compress(&program)
-                .expect("tailored");
-            let full = schemes::full::FullScheme::default()
-                .compress(&program)
-                .expect("full");
+            let images: Vec<EncodedProgram> = match ["tailored", "full"]
+                .iter()
+                .map(|s| engine.image(file, &source, &opts, s, &program))
+                .collect()
+            {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("tepic-cc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             println!(
                 "{:<11} {:>7} {:>9} {:>8} {:>9}",
                 "config", "IPC", "pred", "I$ hit", "flips"
@@ -128,10 +161,10 @@ fn main() -> ExitCode {
             for (name, img, cfg) in [
                 ("ideal", &base, FetchConfig::ideal()),
                 ("base", &base, FetchConfig::base()),
-                ("tailored", &tail.image, FetchConfig::tailored()),
-                ("compressed", &full.image, FetchConfig::compressed()),
+                ("tailored", &images[0], FetchConfig::tailored()),
+                ("compressed", &images[1], FetchConfig::compressed()),
             ] {
-                let r = simulate(&program, img, &run.trace, &cfg);
+                let r = simulate(&program, img, &trace, &cfg);
                 println!(
                     "{name:<11} {:>7.3} {:>8.1}% {:>7.1}% {:>9}",
                     r.ipc(),
@@ -161,12 +194,13 @@ fn main() -> ExitCode {
             );
             println!("code size   : {} bytes", program.code_size());
             println!("data size   : {} bytes", program.data().len());
-            match Emulator::new(&program).run(&Limits::default()) {
-                Ok(r) => {
-                    println!("dyn ops     : {}", r.stats.ops);
-                    println!("dyn blocks  : {}", r.stats.blocks);
-                    println!("MOP density : {:.2}", r.stats.avg_mop_density());
-                    println!("taken frac  : {:.2}", r.stats.taken_fraction);
+            match engine.trace(file, &source, &opts, &program) {
+                Ok(trace) => {
+                    let stats = yula::TraceStats::compute(&program, &trace);
+                    println!("dyn ops     : {}", stats.ops);
+                    println!("dyn blocks  : {}", stats.blocks);
+                    println!("MOP density : {:.2}", stats.avg_mop_density());
+                    println!("taken frac  : {:.2}", stats.taken_fraction);
                 }
                 Err(e) => println!("dyn         : <runtime error: {e}>"),
             }
@@ -174,4 +208,185 @@ fn main() -> ExitCode {
         }
         _ => usage(),
     }
+}
+
+/// The figure suite, as one flag-ordered list of (name, needs-reports,
+/// render) entries. `--figures` picks by name; the default set is the
+/// paper's core figures; `--all` adds the extensions.
+const CORE_FIGURES: [&str; 8] = [
+    "table1", "table2", "fig05", "fig07", "fig10", "fig13", "fig14", "diag",
+];
+const EXT_FIGURES: [&str; 8] = [
+    "ablations",
+    "sweep_cache",
+    "stream_explorer",
+    "ext_complex_units",
+    "ext_entropy_limit",
+    "ext_fault_campaign",
+    "ext_gshare",
+    "ext_tail_duplication",
+];
+
+fn render_figure(
+    name: &str,
+    prepared: &[Prepared],
+    reports: &[CompressionReport],
+) -> Option<String> {
+    Some(match name {
+        "table1" => figures::table1(),
+        "table2" => figures::table2(),
+        "fig05" => figures::fig05(reports),
+        "fig07" => figures::fig07(reports, prepared),
+        "fig10" => figures::fig10(reports),
+        "fig13" => figures::fig13(prepared),
+        "fig14" => figures::fig14(prepared),
+        "diag" => figures::diag(prepared),
+        "ablations" => figures::ablations(prepared),
+        "sweep_cache" => figures::sweep_cache(prepared),
+        "stream_explorer" => figures::stream_explorer(prepared),
+        "ext_complex_units" => figures::ext_complex_units(prepared),
+        "ext_entropy_limit" => figures::ext_entropy_limit(prepared),
+        "ext_fault_campaign" => figures::ext_fault_campaign(prepared, &CampaignConfig::default()),
+        "ext_gshare" => figures::ext_gshare(prepared),
+        "ext_tail_duplication" => figures::ext_tail_duplication(prepared),
+        _ => return None,
+    })
+}
+
+fn bench_cmd(args: &[String]) -> ExitCode {
+    let mut jobs: Option<usize> = None;
+    let mut no_cache = false;
+    let mut cache_dir: Option<String> = None;
+    let mut figure_list: Option<Vec<String>> = None;
+    let mut all = false;
+    let mut assert_warm = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => jobs = Some(n),
+                _ => {
+                    eprintln!("tepic-cc bench: --jobs wants a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => match it.next() {
+                Some(d) => cache_dir = Some(d.clone()),
+                None => {
+                    eprintln!("tepic-cc bench: --cache-dir needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--figures" => match it.next() {
+                Some(list) => {
+                    figure_list = Some(list.split(',').map(|s| s.trim().to_string()).collect())
+                }
+                None => {
+                    eprintln!("tepic-cc bench: --figures needs a comma-separated list");
+                    return ExitCode::from(2);
+                }
+            },
+            "--all" => all = true,
+            "--assert-warm" => assert_warm = true,
+            other => {
+                eprintln!("tepic-cc bench: unknown option {other}");
+                return usage();
+            }
+        }
+    }
+
+    let jobs = jobs
+        .or_else(|| {
+            std::env::var("CCC_JOBS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        })
+        .unwrap_or_else(tepic_ccc::bench::engine::default_jobs);
+    let engine = if no_cache {
+        Engine::uncached(jobs)
+    } else {
+        let dir = cache_dir
+            .map(std::path::PathBuf::from)
+            .or_else(|| std::env::var("CCC_CACHE_DIR").ok().map(Into::into))
+            .unwrap_or_else(tepic_ccc::bench::engine::default_cache_dir);
+        match Engine::with_cache_dir(jobs, &dir) {
+            Ok(e) => e,
+            Err(err) => {
+                eprintln!(
+                    "tepic-cc bench: cannot open cache at {}: {err}",
+                    dir.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let selected: Vec<String> = match figure_list {
+        Some(list) => list,
+        None if all => CORE_FIGURES
+            .iter()
+            .chain(EXT_FIGURES.iter())
+            .map(|s| s.to_string())
+            .collect(),
+        None => CORE_FIGURES.iter().map(|s| s.to_string()).collect(),
+    };
+    for name in &selected {
+        if !CORE_FIGURES.contains(&name.as_str()) && !EXT_FIGURES.contains(&name.as_str()) {
+            eprintln!("tepic-cc bench: unknown figure {name}");
+            return ExitCode::from(2);
+        }
+    }
+
+    eprintln!(
+        "tepic-cc bench: {} figure(s), jobs={}, cache={}",
+        selected.len(),
+        engine.jobs(),
+        if engine.is_cached() { "on" } else { "off" }
+    );
+
+    let t0 = Instant::now();
+    let prepared = match engine.prepare_all() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("tepic-cc bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reports = engine.reports(&prepared);
+    let prepare_wall = t0.elapsed();
+
+    let t1 = Instant::now();
+    for name in &selected {
+        let text = render_figure(name, &prepared, &reports).expect("validated above");
+        println!("==================== {name} ====================");
+        println!("{text}");
+    }
+    let render_wall = t1.elapsed();
+
+    let snap = engine.snapshot();
+    println!("==================== engine ====================");
+    print!("{}", snap.render());
+    println!(
+        "  wall    prepare {:>9.1} ms   figures {:>9.1} ms   (jobs = {})",
+        prepare_wall.as_secs_f64() * 1e3,
+        render_wall.as_secs_f64() * 1e3,
+        engine.jobs()
+    );
+
+    if assert_warm {
+        let expected_images =
+            (prepared.len() * tepic_ccc::bench::engine::MATRIX_SCHEMES.len()) as u64;
+        if snap.misses() != 0 || snap.image_hits != expected_images {
+            eprintln!(
+                "tepic-cc bench: --assert-warm failed: {} misses, {}/{} image hits",
+                snap.misses(),
+                snap.image_hits,
+                expected_images
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("  warm-cache assertion held: 0 misses, {expected_images} image hits.");
+    }
+    ExitCode::SUCCESS
 }

@@ -16,7 +16,10 @@
 //!   models and Verilog emission;
 //! * [`fetch`] — the IFetch simulator (banked ICache, ATB + branch
 //!   prediction, L0 buffer, Table-1 cycle model, bus power);
-//! * [`workloads`] — eight SPECint95-class benchmark stand-ins.
+//! * [`workloads`] — eight SPECint95-class benchmark stand-ins;
+//! * [`bench`] — the experiment harness: the parallel prepared-workload
+//!   engine with its content-addressed artifact cache, and the pure
+//!   figure renderers.
 //!
 //! # Quickstart
 //!
@@ -35,6 +38,7 @@
 //! assert!(ipc > 0.0 && ipc <= 6.0);
 //! ```
 
+pub use ccc_bench as bench;
 pub use ccc_core as ccc;
 pub use ifetch_sim as fetch;
 pub use lego;

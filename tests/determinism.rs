@@ -55,3 +55,38 @@ fn simulation_is_deterministic_across_configs() {
         assert_eq!(a, b);
     }
 }
+
+#[test]
+fn parallel_preparation_matches_serial() {
+    // The work-stealing engine must be invisible in the results: the
+    // whole prepared suite — programs, traces, every encoded image — and
+    // the downstream fetch statistics must be bit-identical whether one
+    // worker runs every task (the reference serial schedule) or eight
+    // workers race over them.
+    use tepic_ccc::bench::engine::Engine;
+    use tepic_ccc::bench::{cache_study_scaled, Prepared};
+
+    let serial: Vec<Prepared> = Engine::uncached(1).prepare_all().expect("jobs=1 prepares");
+    let parallel: Vec<Prepared> = Engine::uncached(8).prepare_all().expect("jobs=8 prepares");
+    assert_eq!(serial.len(), parallel.len());
+
+    for (a, b) in serial.iter().zip(&parallel) {
+        let name = a.workload.name;
+        assert_eq!(a.workload.name, b.workload.name, "workload order changed");
+        assert_eq!(a.program, b.program, "{name}: program differs");
+        assert_eq!(a.trace, b.trace, "{name}: trace differs");
+        for ((sa, ia), (_, ib)) in a.images().zip(b.images()) {
+            assert_eq!(ia, ib, "{name}/{sa}: image differs");
+        }
+        assert_eq!(a.base_img, b.base_img, "{name}: base image differs");
+
+        // FetchResult derives PartialEq, so this compares every counter
+        // the figures consume (cycles, hits, predictions, bus activity).
+        let sa = cache_study_scaled(a);
+        let sb = cache_study_scaled(b);
+        assert_eq!(sa.ideal, sb.ideal, "{name}: ideal stats differ");
+        assert_eq!(sa.base, sb.base, "{name}: base stats differ");
+        assert_eq!(sa.compressed, sb.compressed, "{name}: compressed differ");
+        assert_eq!(sa.tailored, sb.tailored, "{name}: tailored differ");
+    }
+}

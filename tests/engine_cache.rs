@@ -1,0 +1,130 @@
+//! Differential tests over the artifact cache: a warm run must serve
+//! byte-identical artifacts for every workload × scheme pair, and a
+//! damaged entry must be detected and rebuilt — never served.
+
+use std::path::PathBuf;
+use tepic_ccc::bench::engine::{Engine, MATRIX_SCHEMES};
+use tepic_ccc::isa::program_to_bytes;
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tepic-engine-cache-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn warm_artifacts_are_byte_identical_for_every_pair() {
+    let dir = scratch("differential");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold = Engine::with_cache_dir(4, &dir).unwrap();
+    let a = cold.prepare_all().expect("cold prepare");
+    let cold_snap = cold.snapshot();
+    assert_eq!(cold_snap.hits(), 0, "first run cannot hit");
+    assert_eq!(
+        cold_snap.image_misses,
+        (a.len() * MATRIX_SCHEMES.len()) as u64,
+        "one image build per workload x scheme"
+    );
+
+    let warm = Engine::with_cache_dir(4, &dir).unwrap();
+    let b = warm.prepare_all().expect("warm prepare");
+    let warm_snap = warm.snapshot();
+    assert_eq!(warm_snap.misses(), 0, "warm run must rebuild nothing");
+    assert_eq!(
+        warm_snap.image_hits,
+        (b.len() * MATRIX_SCHEMES.len()) as u64
+    );
+
+    assert_eq!(a.len(), b.len());
+    for (pa, pb) in a.iter().zip(&b) {
+        let name = pa.workload.name;
+        assert_eq!(
+            program_to_bytes(&pa.program),
+            program_to_bytes(&pb.program),
+            "{name}: program artifact differs cold vs warm"
+        );
+        assert_eq!(
+            pa.trace.to_wire_bytes(),
+            pb.trace.to_wire_bytes(),
+            "{name}: trace artifact differs cold vs warm"
+        );
+        for scheme in MATRIX_SCHEMES.iter().chain(&["base"]) {
+            let ia = pa.image(scheme).expect("scheme image");
+            let ib = pb.image(scheme).expect("scheme image");
+            assert_eq!(
+                tepic_ccc::ccc::encoded_to_bytes(ia),
+                tepic_ccc::ccc::encoded_to_bytes(ib),
+                "{name}/{scheme}: image artifact differs cold vs warm"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupted_entries_are_rebuilt_not_served() {
+    let dir = scratch("corruption");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold = Engine::with_cache_dir(2, &dir).unwrap();
+    let reference = cold.prepare_all().expect("cold prepare");
+
+    // Damage every image entry a different way: truncation, payload
+    // bit-flip, garbage header.
+    let mut damaged = 0usize;
+    for (i, entry) in std::fs::read_dir(&dir).unwrap().enumerate() {
+        let path = entry.unwrap().path();
+        if !path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("image-")
+        {
+            continue;
+        }
+        let mut raw = std::fs::read(&path).unwrap();
+        match i % 3 {
+            0 => raw.truncate(raw.len() / 2),
+            1 => {
+                let last = raw.len() - 1;
+                raw[last] ^= 0x40;
+            }
+            _ => raw[..4].copy_from_slice(b"JUNK"),
+        }
+        std::fs::write(&path, &raw).unwrap();
+        damaged += 1;
+    }
+    assert_eq!(
+        damaged,
+        reference.len() * MATRIX_SCHEMES.len(),
+        "expected one image entry per workload x scheme"
+    );
+
+    let recovering = Engine::with_cache_dir(2, &dir).unwrap();
+    let rebuilt = recovering.prepare_all().expect("recovery prepare");
+    let snap = recovering.snapshot();
+    assert_eq!(
+        snap.corrupt_entries, damaged as u64,
+        "every damaged entry must be flagged"
+    );
+    assert_eq!(
+        snap.image_misses, damaged as u64,
+        "every damaged entry must be rebuilt"
+    );
+    assert_eq!(snap.image_hits, 0, "no damaged entry may be served");
+    // Programs and traces were untouched and still hit.
+    assert_eq!(snap.program_hits, reference.len() as u64);
+    assert_eq!(snap.trace_hits, reference.len() as u64);
+
+    for (pa, pb) in reference.iter().zip(&rebuilt) {
+        for ((na, ia), (_, ib)) in pa.images().zip(pb.images()) {
+            assert_eq!(ia, ib, "{}/{na}: rebuilt image differs", pa.workload.name);
+        }
+    }
+
+    // The rebuild overwrote the damaged files: a third run is fully warm.
+    let warm = Engine::with_cache_dir(2, &dir).unwrap();
+    warm.prepare_all().expect("warm prepare");
+    assert_eq!(warm.snapshot().misses(), 0);
+    assert_eq!(warm.snapshot().corrupt_entries, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

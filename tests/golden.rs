@@ -1,0 +1,79 @@
+//! Golden-snapshot tests over the paper's figures.
+//!
+//! The committed files under `tests/golden/` are the exact stdout of the
+//! corresponding figure binaries. Each test regenerates the figure
+//! through the prepared-workload engine (uncached, so nothing on disk
+//! can mask a regression) and diffs the full text: any change to the
+//! compiler, the codecs, the fetch simulator or the renderers shows up
+//! as a line-level diff here before it can silently shift a result.
+//!
+//! To refresh after an *intentional* change:
+//!
+//! ```text
+//! cargo build --release -p ccc-bench
+//! CCC_NO_CACHE=1 ./target/release/fig05_compression > tests/golden/fig05_compression.txt
+//! CCC_NO_CACHE=1 ./target/release/fig07_att_size    > tests/golden/fig07_att_size.txt
+//! CCC_NO_CACHE=1 ./target/release/fig14_bus_power   > tests/golden/fig14_bus_power.txt
+//! ```
+
+use tepic_ccc::bench::engine::Engine;
+use tepic_ccc::bench::{figures, Prepared};
+
+fn prepared() -> Vec<Prepared> {
+    Engine::uncached(4).prepare_all().expect("suite prepares")
+}
+
+/// Diffs `actual` against the committed snapshot, with a line-level
+/// report on mismatch.
+fn assert_matches_golden(name: &str, golden: &str, actual: &str) {
+    if actual == golden {
+        return;
+    }
+    let mut report = String::new();
+    for (i, (g, a)) in golden.lines().zip(actual.lines()).enumerate() {
+        if g != a {
+            report.push_str(&format!("line {}:\n  golden: {g}\n  actual: {a}\n", i + 1));
+        }
+    }
+    let (gl, al) = (golden.lines().count(), actual.lines().count());
+    if gl != al {
+        report.push_str(&format!("line counts differ: golden {gl}, actual {al}\n"));
+    }
+    panic!(
+        "{name} drifted from its golden snapshot (see tests/golden.rs for the \
+         refresh recipe):\n{report}"
+    );
+}
+
+#[test]
+fn fig05_matches_golden() {
+    let engine = Engine::uncached(4);
+    let prepared = engine.prepare_all().expect("suite prepares");
+    let reports = engine.reports(&prepared);
+    assert_matches_golden(
+        "fig05_compression",
+        include_str!("golden/fig05_compression.txt"),
+        &figures::fig05(&reports),
+    );
+}
+
+#[test]
+fn fig07_matches_golden() {
+    let engine = Engine::uncached(4);
+    let prepared = engine.prepare_all().expect("suite prepares");
+    let reports = engine.reports(&prepared);
+    assert_matches_golden(
+        "fig07_att_size",
+        include_str!("golden/fig07_att_size.txt"),
+        &figures::fig07(&reports, &prepared),
+    );
+}
+
+#[test]
+fn fig14_matches_golden() {
+    assert_matches_golden(
+        "fig14_bus_power",
+        include_str!("golden/fig14_bus_power.txt"),
+        &figures::fig14(&prepared()),
+    );
+}

@@ -320,6 +320,58 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The artifact cache's `Program` wire format is lossless: decode
+    /// after encode reproduces the exact program (ops, block and
+    /// function tables, data segment, entry).
+    #[test]
+    fn program_wire_roundtrip(p in small_program()) {
+        let bytes = tepic_ccc::isa::program_to_bytes(&p);
+        let back = tepic_ccc::isa::program_from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, p);
+        // And the encoding itself is deterministic (cache keys assume it).
+        let p2 = tepic_ccc::isa::program_from_bytes(&bytes).unwrap();
+        prop_assert_eq!(tepic_ccc::isa::program_to_bytes(&p2), bytes);
+    }
+
+    /// The `BlockTrace` wire format round-trips arbitrary block-id
+    /// sequences, including the empty trace.
+    #[test]
+    fn trace_wire_roundtrip(blocks in prop::collection::vec(any::<u32>(), 0..600)) {
+        let trace: yula::BlockTrace = blocks.iter().copied().collect();
+        let bytes = trace.to_wire_bytes();
+        let back = yula::BlockTrace::from_wire_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.blocks(), trace.blocks());
+        // Truncating the payload must be an error, never a silent prefix.
+        if bytes.len() > 12 {
+            prop_assert!(yula::BlockTrace::from_wire_bytes(&bytes[..bytes.len() - 1]).is_err());
+        }
+    }
+
+    /// The `EncodedProgram` wire format round-trips every scheme's output
+    /// on arbitrary valid programs: image bytes, block offsets, decoder
+    /// spec and ATT all survive encode→decode exactly.
+    #[test]
+    fn encoded_wire_roundtrip(p in small_program()) {
+        for scheme in standard_schemes() {
+            let out = scheme.compress(&p).unwrap().image;
+            let bytes = tepic_ccc::ccc::encoded_to_bytes(&out);
+            let back = tepic_ccc::ccc::encoded_from_bytes(&bytes).unwrap();
+            prop_assert_eq!(&back, &out, "{}: wire round-trip drifted", scheme.name());
+            // A decoded image is a first-class artifact: re-encoding it
+            // must be byte-identical (warm cache entries are stable).
+            prop_assert_eq!(
+                tepic_ccc::ccc::encoded_to_bytes(&back),
+                bytes,
+                "{}: re-encode not canonical",
+                scheme.name()
+            );
+        }
+    }
+}
+
 /// Host-side reference evaluation with the emulator's wrapping semantics.
 #[derive(Debug, Clone)]
 enum Expr {
