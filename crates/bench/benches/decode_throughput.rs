@@ -1,0 +1,318 @@
+//! Decode-kernel throughput: the word-at-a-time [`BitReader`] +
+//! two-level-LUT [`LutDecoder`] fast path against the bit-serial
+//! [`CanonicalDecoder`] reference, over each Huffman scheme's real
+//! tables and symbol streams (built from the `go` workload exactly as
+//! the schemes build them).
+//!
+//! Besides the usual per-iteration prints, this bench writes
+//! `results/decode_throughput.txt` (human table) and
+//! `results/BENCH_decode.json` (machine-readable) and exits non-zero if
+//! the LUT path is slower than the reference on the byte scheme — the
+//! regression gate `scripts/check.sh` and CI rely on. Set
+//! `CCC_DECODE_SMOKE=1` for a short smoke measurement.
+
+use ccc_core::schemes::stream::StreamConfig;
+use criterion::Criterion;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Duration;
+use tepic_isa::Program;
+use tinker_huffman::{BitReader, BitWriter, CanonicalDecoder, CodeBook, Dictionary, LutDecoder};
+
+/// One scheme's decode workload: its Huffman tables, the symbol
+/// sequence in decode order (`order[i]` names the table `syms[i]` was
+/// coded with — streams interleave several tables per op), and the
+/// encoded bitstream.
+struct DecodeWorkload {
+    name: &'static str,
+    books: Vec<CodeBook>,
+    order: Vec<u32>,
+    syms: Vec<u32>,
+    bytes: Vec<u8>,
+}
+
+impl DecodeWorkload {
+    fn new(name: &'static str, books: Vec<CodeBook>, order: Vec<u32>, syms: Vec<u32>) -> Self {
+        assert_eq!(order.len(), syms.len());
+        let mut w = BitWriter::new();
+        for (&bi, &s) in order.iter().zip(&syms) {
+            books[bi as usize].try_encode_into(s, &mut w).unwrap();
+        }
+        DecodeWorkload {
+            name,
+            books,
+            order,
+            syms,
+            bytes: w.into_bytes(),
+        }
+    }
+
+    /// Single-table schemes decode whole blocks via `decode_n` (the
+    /// codecs' production path); interleaved-table schemes replay the
+    /// per-symbol table order exactly as their codecs do.
+    fn decode_reference(&self, decs: &[CanonicalDecoder]) -> u64 {
+        let mut r = BitReader::new(&self.bytes);
+        if decs.len() == 1 {
+            return checksum(&decs[0].decode_n(&mut r, self.syms.len()).unwrap());
+        }
+        let mut acc = 0u64;
+        for &bi in &self.order {
+            acc = acc.wrapping_add(decs[bi as usize].decode(&mut r).unwrap() as u64);
+        }
+        acc
+    }
+
+    fn decode_lut(&self, decs: &[LutDecoder]) -> u64 {
+        let mut r = BitReader::new(&self.bytes);
+        if decs.len() == 1 {
+            return checksum(&decs[0].decode_n(&mut r, self.syms.len()).unwrap());
+        }
+        let mut acc = 0u64;
+        for &bi in &self.order {
+            acc = acc.wrapping_add(decs[bi as usize].decode(&mut r).unwrap() as u64);
+        }
+        acc
+    }
+}
+
+fn checksum(syms: &[u32]) -> u64 {
+    syms.iter().fold(0u64, |a, &s| a.wrapping_add(s as u64))
+}
+
+/// Byte scheme: one table over the code bytes, `max_code_len` 10.
+fn byte_workload(p: &Program) -> DecodeWorkload {
+    let code = p.code_bytes();
+    let mut freqs = [0u64; 256];
+    for &b in &code {
+        freqs[b as usize] += 1;
+    }
+    let book = CodeBook::bounded_from_freqs(&freqs, 10).unwrap();
+    let syms: Vec<u32> = code.iter().map(|&b| b as u32).collect();
+    let order = vec![0u32; syms.len()];
+    DecodeWorkload::new("byte", vec![book], order, syms)
+}
+
+/// Stream schemes: one table per field stream, interleaved per op.
+fn stream_workload(p: &Program, name: &'static str) -> DecodeWorkload {
+    let config = StreamConfig::by_name(name).unwrap();
+    let words = p.op_words();
+    let ns = config.num_streams();
+    let mut dicts: Vec<Dictionary<u64>> = vec![Dictionary::new(); ns];
+    for &w in &words {
+        for (si, dict) in dicts.iter_mut().enumerate() {
+            let (off, width) = config.stream_bits(si);
+            dict.record((w >> off) & ((1u64 << width) - 1));
+        }
+    }
+    let books: Vec<CodeBook> = dicts
+        .iter()
+        .map(|d| CodeBook::bounded_from_freqs(d.freqs(), 20).unwrap())
+        .collect();
+    let mut order = Vec::with_capacity(words.len() * ns);
+    let mut syms = Vec::with_capacity(words.len() * ns);
+    for &w in &words {
+        for (si, dict) in dicts.iter().enumerate() {
+            let (off, width) = config.stream_bits(si);
+            order.push(si as u32);
+            syms.push(dict.id_of(&((w >> off) & ((1u64 << width) - 1))).unwrap());
+        }
+    }
+    DecodeWorkload::new(name, books, order, syms)
+}
+
+/// Full scheme: one table over whole 40-bit op words, `max_code_len` 24.
+fn full_workload(p: &Program) -> DecodeWorkload {
+    let words = p.op_words();
+    let dict: Dictionary<u64> = words.iter().copied().collect();
+    let book = CodeBook::bounded_from_freqs(dict.freqs(), 24).unwrap();
+    let syms: Vec<u32> = words.iter().map(|w| dict.id_of(w).unwrap()).collect();
+    let order = vec![0u32; syms.len()];
+    DecodeWorkload::new("full", vec![book], order, syms)
+}
+
+/// Pair scheme: non-overlapping op pairs per block (table 0) plus odd
+/// trailing singles (table 1), `max_code_len` 28.
+fn pair_workload(p: &Program) -> DecodeWorkload {
+    let mut pairs: Dictionary<(u64, u64)> = Dictionary::new();
+    let mut singles: Dictionary<u64> = Dictionary::new();
+    let block_words: Vec<Vec<u64>> = (0..p.num_blocks())
+        .map(|b| p.block_ops(b).iter().map(|o| o.encode()).collect())
+        .collect();
+    for words in &block_words {
+        let mut i = 0;
+        while i + 1 < words.len() {
+            pairs.record((words[i], words[i + 1]));
+            i += 2;
+        }
+        if i < words.len() {
+            singles.record(words[i]);
+        }
+    }
+    let pair_book = CodeBook::bounded_from_freqs(pairs.freqs(), 28).unwrap();
+    let single_book = CodeBook::bounded_from_freqs(singles.freqs(), 28).unwrap();
+    let mut order = Vec::new();
+    let mut syms = Vec::new();
+    for words in &block_words {
+        let mut i = 0;
+        while i + 1 < words.len() {
+            order.push(0);
+            syms.push(pairs.id_of(&(words[i], words[i + 1])).unwrap());
+            i += 2;
+        }
+        if i < words.len() {
+            order.push(1);
+            syms.push(singles.id_of(&words[i]).unwrap());
+        }
+    }
+    DecodeWorkload::new("pair", vec![pair_book, single_book], order, syms)
+}
+
+struct Measurement {
+    scheme: &'static str,
+    symbols: usize,
+    compressed_bytes: usize,
+    ref_ns: f64,
+    lut_ns: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.ref_ns / self.lut_ns.max(1e-9)
+    }
+    fn sym_per_s(&self, ns: f64) -> f64 {
+        self.symbols as f64 / (ns * 1e-9)
+    }
+    fn mb_per_s(&self, ns: f64) -> f64 {
+        self.compressed_bytes as f64 / (ns * 1e-9) / 1e6
+    }
+}
+
+fn measure(c: &mut Criterion, w: &DecodeWorkload) -> Measurement {
+    let refs: Vec<CanonicalDecoder> = w.books.iter().map(CodeBook::decoder).collect();
+    let luts: Vec<LutDecoder> = w.books.iter().map(CodeBook::lut_decoder).collect();
+    // Both paths must observe the exact same symbol sequence.
+    assert_eq!(
+        w.decode_reference(&refs),
+        w.decode_lut(&luts),
+        "{}: LUT decode diverged from reference",
+        w.name
+    );
+    let mut g = c.benchmark_group(w.name);
+    let ref_ns = g.bench_measured("reference", |b| {
+        b.iter(|| black_box(w.decode_reference(&refs)))
+    });
+    let lut_ns = g.bench_measured("lut", |b| b.iter(|| black_box(w.decode_lut(&luts))));
+    g.finish();
+    Measurement {
+        scheme: w.name,
+        symbols: w.syms.len(),
+        compressed_bytes: w.bytes.len(),
+        ref_ns,
+        lut_ns,
+    }
+}
+
+fn render_table(rows: &[Measurement]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Decode kernel throughput — go workload, reference (bit-serial) vs LUT fast path"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>9} {:>10} {:>13} {:>13} {:>12} {:>12} {:>8}",
+        "scheme", "symbols", "bytes", "ref Msym/s", "lut Msym/s", "ref MB/s", "lut MB/s", "speedup"
+    );
+    for m in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9} {:>10} {:>13.1} {:>13.1} {:>12.1} {:>12.1} {:>7.2}x",
+            m.scheme,
+            m.symbols,
+            m.compressed_bytes,
+            m.sym_per_s(m.ref_ns) / 1e6,
+            m.sym_per_s(m.lut_ns) / 1e6,
+            m.mb_per_s(m.ref_ns),
+            m.mb_per_s(m.lut_ns),
+            m.speedup()
+        );
+    }
+    out
+}
+
+fn render_json(rows: &[Measurement], smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"decode_throughput\",");
+    let _ = writeln!(out, "  \"workload\": \"go\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        out,
+        "  \"lut_bits_default\": {},",
+        tinker_huffman::lut::DEFAULT_LUT_BITS
+    );
+    let _ = writeln!(out, "  \"schemes\": [");
+    for (i, m) in rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"scheme\": \"{}\",", m.scheme);
+        let _ = writeln!(out, "      \"symbols\": {},", m.symbols);
+        let _ = writeln!(out, "      \"compressed_bytes\": {},", m.compressed_bytes);
+        for (label, ns) in [("reference", m.ref_ns), ("lut", m.lut_ns)] {
+            let _ = writeln!(out, "      \"{label}\": {{");
+            let _ = writeln!(out, "        \"ns_per_pass\": {ns:.1},");
+            let _ = writeln!(out, "        \"symbols_per_sec\": {:.0},", m.sym_per_s(ns));
+            let _ = writeln!(out, "        \"mb_per_sec\": {:.3}", m.mb_per_s(ns));
+            let _ = writeln!(out, "      }},");
+        }
+        let _ = writeln!(out, "      \"speedup\": {:.3}", m.speedup());
+        let _ = writeln!(out, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::var("CCC_DECODE_SMOKE").is_ok_and(|v| v == "1");
+    let mut c = if smoke {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(200))
+    } else {
+        Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+    };
+
+    let p = tinker_workloads::by_name("go").unwrap().compile().unwrap();
+    let workloads = [
+        byte_workload(&p),
+        stream_workload(&p, "stream"),
+        stream_workload(&p, "stream_1"),
+        full_workload(&p),
+        pair_workload(&p),
+    ];
+    let rows: Vec<Measurement> = workloads.iter().map(|w| measure(&mut c, w)).collect();
+
+    let table = render_table(&rows);
+    print!("\n{table}");
+    let results = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(results).unwrap();
+    std::fs::write(format!("{results}/decode_throughput.txt"), &table).unwrap();
+    std::fs::write(
+        format!("{results}/BENCH_decode.json"),
+        render_json(&rows, smoke),
+    )
+    .unwrap();
+    println!("wrote results/decode_throughput.txt and results/BENCH_decode.json");
+
+    // Regression gate: on the byte scheme every code fits the first-level
+    // LUT, so a slower LUT path means the fast path has regressed.
+    let byte = rows.iter().find(|m| m.scheme == "byte").unwrap();
+    if byte.speedup() < 1.0 {
+        eprintln!(
+            "REGRESSION: LUT decode slower than reference on byte scheme ({:.2}x)",
+            byte.speedup()
+        );
+        std::process::exit(1);
+    }
+}

@@ -9,7 +9,7 @@
 use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::{Program, OP_BYTES};
-use tinker_huffman::{BitReader, BitWriter, CanonicalDecoder, CodeBook, DecoderComplexity};
+use tinker_huffman::{BitReader, BitWriter, CodeBook, DecoderComplexity, LutDecoder};
 
 /// Byte-alphabet Huffman scheme.
 #[derive(Debug, Clone, Copy)]
@@ -30,7 +30,10 @@ impl Default for ByteScheme {
 }
 
 struct ByteCodec {
-    decoder: CanonicalDecoder,
+    /// The LUT fast path decodes identically to the bit-serial
+    /// reference (`CodeBook::decoder`); hardware cost is still modelled
+    /// on the reference (`DecoderComplexity` below).
+    decoder: LutDecoder,
 }
 
 impl BlockCodec for ByteCodec {
@@ -41,11 +44,12 @@ impl BlockCodec for ByteCodec {
         num_ops: usize,
     ) -> Result<Vec<u64>, BlockDecodeError> {
         let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
+        let syms = self.decoder.decode_n(&mut r, num_ops * OP_BYTES)?;
         let mut out = Vec::with_capacity(num_ops);
-        for _ in 0..num_ops {
+        for chunk in syms.chunks_exact(OP_BYTES) {
             let mut w = [0u8; 8];
-            for byte in w.iter_mut().take(OP_BYTES) {
-                *byte = self.decoder.decode(&mut r)? as u8;
+            for (byte, &sym) in w.iter_mut().zip(chunk) {
+                *byte = sym as u8;
             }
             out.push(u64::from_le_bytes(w));
         }
@@ -103,7 +107,7 @@ impl Scheme for ByteScheme {
         Ok(SchemeOutput {
             image,
             codec: Box::new(ByteCodec {
-                decoder: book.decoder(),
+                decoder: book.lut_decoder(),
             }),
         })
     }

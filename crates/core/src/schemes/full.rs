@@ -10,9 +10,7 @@
 use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::{Program, OP_BITS};
-use tinker_huffman::{
-    BitReader, BitWriter, CanonicalDecoder, CodeBook, DecoderComplexity, Dictionary,
-};
+use tinker_huffman::{BitReader, BitWriter, CodeBook, DecoderComplexity, Dictionary, LutDecoder};
 
 /// Whole-op Huffman scheme.
 #[derive(Debug, Clone, Copy)]
@@ -29,7 +27,7 @@ impl Default for FullScheme {
 }
 
 struct FullCodec {
-    decoder: CanonicalDecoder,
+    decoder: LutDecoder,
     values: Vec<u64>,
 }
 
@@ -41,9 +39,9 @@ impl BlockCodec for FullCodec {
         num_ops: usize,
     ) -> Result<Vec<u64>, BlockDecodeError> {
         let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
+        let syms = self.decoder.decode_n(&mut r, num_ops)?;
         let mut out = Vec::with_capacity(num_ops);
-        for _ in 0..num_ops {
-            let sym = self.decoder.decode(&mut r)?;
+        for sym in syms {
             let word = self
                 .values
                 .get(sym as usize)
@@ -105,7 +103,7 @@ impl Scheme for FullScheme {
             decoder: DecoderCost::Huffman(vec![model]),
         };
         let codec = FullCodec {
-            decoder: book.decoder(),
+            decoder: book.lut_decoder(),
             values: (0..dict.len() as u32).map(|i| *dict.value_of(i)).collect(),
         };
         Ok(SchemeOutput {

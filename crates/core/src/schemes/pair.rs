@@ -13,9 +13,7 @@
 use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::{Program, OP_BITS};
-use tinker_huffman::{
-    BitReader, BitWriter, CanonicalDecoder, CodeBook, DecoderComplexity, Dictionary,
-};
+use tinker_huffman::{BitReader, BitWriter, CodeBook, DecoderComplexity, Dictionary, LutDecoder};
 
 /// Whole-op-pair Huffman scheme.
 #[derive(Debug, Clone, Copy)]
@@ -31,9 +29,9 @@ impl Default for PairScheme {
 }
 
 struct PairCodec {
-    pair_decoder: CanonicalDecoder,
+    pair_decoder: LutDecoder,
     pair_values: Vec<(u64, u64)>,
-    single_decoder: Option<CanonicalDecoder>,
+    single_decoder: Option<LutDecoder>,
     single_values: Vec<u64>,
 }
 
@@ -178,11 +176,11 @@ impl Scheme for PairScheme {
             decoder: DecoderCost::Huffman(decoders),
         };
         let codec = PairCodec {
-            pair_decoder: pair_book.decoder(),
+            pair_decoder: pair_book.lut_decoder(),
             pair_values: (0..pairs.len() as u32)
                 .map(|i| *pairs.value_of(i))
                 .collect(),
-            single_decoder: single_book.as_ref().map(CodeBook::decoder),
+            single_decoder: single_book.as_ref().map(CodeBook::lut_decoder),
             single_values: (0..singles.len() as u32)
                 .map(|i| *singles.value_of(i))
                 .collect(),

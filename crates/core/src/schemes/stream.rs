@@ -17,9 +17,7 @@
 use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::Program;
-use tinker_huffman::{
-    BitReader, BitWriter, CanonicalDecoder, CodeBook, DecoderComplexity, Dictionary,
-};
+use tinker_huffman::{BitReader, BitWriter, CodeBook, DecoderComplexity, Dictionary, LutDecoder};
 
 /// A stream configuration: cut points over the 40-bit word. `cuts` must
 /// start at 0, end at 40, and be strictly increasing.
@@ -132,7 +130,7 @@ fn field(word: u64, off: u32, width: u32) -> u64 {
 
 struct StreamCodec {
     config: &'static StreamConfig,
-    decoders: Vec<CanonicalDecoder>,
+    decoders: Vec<LutDecoder>,
     values: Vec<Vec<u64>>, // per stream: symbol id → field value
 }
 
@@ -246,7 +244,7 @@ impl Scheme for StreamScheme {
         };
         let codec = StreamCodec {
             config: self.config,
-            decoders: books.iter().map(CodeBook::decoder).collect(),
+            decoders: books.iter().map(CodeBook::lut_decoder).collect(),
             values: dicts
                 .iter()
                 .map(|d| (0..d.len() as u32).map(|i| *d.value_of(i)).collect())

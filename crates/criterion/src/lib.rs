@@ -54,7 +54,18 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     /// Runs one benchmark and prints its mean time per iteration.
-    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_measured(id, f);
+        self
+    }
+
+    /// [`Self::bench_function`] that also returns the mean time per
+    /// iteration in nanoseconds, for benches that post-process their
+    /// measurements (throughput reports, regression gates).
+    pub fn bench_measured<F>(&mut self, id: &str, mut f: F) -> f64
     where
         F: FnMut(&mut Bencher),
     {
@@ -88,7 +99,7 @@ impl BenchmarkGroup<'_> {
         }
         let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
         println!("  {id:<28} {}", format_ns(mean_ns));
-        self
+        mean_ns
     }
 
     /// Ends the group (no-op; kept for API compatibility).
@@ -182,5 +193,17 @@ mod tests {
     #[test]
     fn group_macro_compiles_and_runs() {
         benches();
+    }
+
+    #[test]
+    fn measured_returns_positive_mean() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("measured");
+        let ns = g.bench_measured("mul", |b| {
+            b.iter(|| std::hint::black_box(17u64).wrapping_mul(3))
+        });
+        assert!(ns > 0.0);
     }
 }

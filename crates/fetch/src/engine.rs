@@ -9,6 +9,7 @@ use crate::cache::{BankedCache, CacheConfig};
 use crate::gshare::Gshare;
 use crate::penalty::{Outcome, PenaltyTable};
 use crate::power::BusModel;
+use ccc_core::schemes::BlockCodec;
 use ccc_core::{AddressTranslationTable, EncodedProgram};
 use tepic_isa::Program;
 use yula::BlockTrace;
@@ -221,6 +222,22 @@ impl FetchResult {
     }
 }
 
+/// Decompressor activity observed when a [`BlockCodec`] rides along via
+/// [`simulate_decoded`]. The decompressor engages on every L0 buffer
+/// miss of the Compressed class (paper §4: the buffer sits in front of
+/// it precisely to keep it off the common path), so these counters
+/// measure how much actual Huffman decode work the fetch path performs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Blocks run through the decompressor.
+    pub blocks_decoded: u64,
+    /// Operations reconstructed by those decodes.
+    pub ops_decoded: u64,
+    /// Decodes that errored or reconstructed the wrong op words. Zero on
+    /// a clean image.
+    pub decode_errors: u64,
+}
+
 /// Runs one configuration over a program, its encoded image and its
 /// dynamic trace. The ATT is built from the image as given — for fault
 /// studies where the ROM image may differ from what the compiler saw,
@@ -245,6 +262,43 @@ pub fn simulate_with_att(
     att: &AddressTranslationTable,
     trace: &BlockTrace,
     config: &FetchConfig,
+) -> FetchResult {
+    simulate_inner(program, image, att, trace, config, None)
+}
+
+/// [`simulate`] with the real decompressor on the fetch path: whenever
+/// the Compressed class misses the L0 buffer, the block is actually
+/// decoded through `codec` and checked against the program. Cycle
+/// accounting is untouched — Table 1 already prices the decompressor —
+/// so the [`FetchResult`] is identical to [`simulate`]'s; the extra
+/// [`DecodeStats`] report the decode work and any corruption it caught.
+pub fn simulate_decoded(
+    program: &Program,
+    image: &EncodedProgram,
+    trace: &BlockTrace,
+    config: &FetchConfig,
+    codec: &dyn BlockCodec,
+) -> (FetchResult, DecodeStats) {
+    let att = AddressTranslationTable::build(program, image);
+    let mut stats = DecodeStats::default();
+    let r = simulate_inner(
+        program,
+        image,
+        &att,
+        trace,
+        config,
+        Some((codec, &mut stats)),
+    );
+    (r, stats)
+}
+
+fn simulate_inner(
+    program: &Program,
+    image: &EncodedProgram,
+    att: &AddressTranslationTable,
+    trace: &BlockTrace,
+    config: &FetchConfig,
+    mut decode: Option<(&dyn BlockCodec, &mut DecodeStats)>,
 ) -> FetchResult {
     let mut atb = Atb::new(config.atb_entries);
     let mut gshare = match config.predictor {
@@ -318,6 +372,27 @@ pub fn simulate_with_att(
         // The L0 buffer has priority over the main cache (paper §4): a
         // buffer hit never touches the cache or the bus.
         let buffer_hit = compressed && buffer.access(cur, info.num_ops as u32);
+        if compressed && !buffer_hit {
+            // The decompressor engages: the block's compressed bits —
+            // whether they come from the cache or from memory — are
+            // decoded into the buffer before ops can issue.
+            if let Some((codec, stats)) = decode.as_mut() {
+                stats.blocks_decoded += 1;
+                match codec.decode_block(image, cur as usize, info.num_ops) {
+                    Ok(words) => {
+                        stats.ops_decoded += words.len() as u64;
+                        let ok = words
+                            .iter()
+                            .zip(program.block_ops(cur as usize))
+                            .all(|(&w, op)| w == op.encode());
+                        if !ok || words.len() != info.num_ops {
+                            stats.decode_errors += 1;
+                        }
+                    }
+                    Err(_) => stats.decode_errors += 1,
+                }
+            }
+        }
         let cache_hit = if buffer_hit {
             true
         } else {
@@ -596,6 +671,62 @@ mod tests {
             r.integrity_faults > 0,
             "corrupt entry must fail its self-check when the ATB loads it"
         );
+    }
+
+    #[test]
+    fn decoded_run_matches_plain_run_and_decodes_cleanly() {
+        let s = loopy();
+        let out = FullScheme::default().compress(&s.program).unwrap();
+        let plain = simulate(&s.program, &out.image, &s.trace, &FetchConfig::compressed());
+        let (decoded, stats) = simulate_decoded(
+            &s.program,
+            &out.image,
+            &s.trace,
+            &FetchConfig::compressed(),
+            out.codec.as_ref(),
+        );
+        // Decoding rides along without disturbing any accounting.
+        assert_eq!(decoded, plain);
+        // Every buffer miss ran the decompressor, and every decode was
+        // clean and complete.
+        assert_eq!(stats.blocks_decoded, plain.buffer_misses);
+        assert!(stats.ops_decoded > 0, "hot loop must decode some ops");
+        assert_eq!(stats.decode_errors, 0);
+    }
+
+    #[test]
+    fn decoded_run_catches_corrupted_block() {
+        let s = loopy();
+        let out = FullScheme::default().compress(&s.program).unwrap();
+        let hot = s.trace.transitions().next().unwrap().0 as usize;
+        let (start, _) = out.image.block_range(hot);
+        let mut bad = out.image.clone();
+        bad.bytes[start as usize] ^= 0x40;
+        let (_, stats) = simulate_decoded(
+            &s.program,
+            &bad,
+            &s.trace,
+            &FetchConfig::compressed(),
+            out.codec.as_ref(),
+        );
+        assert!(
+            stats.decode_errors > 0,
+            "flipped payload bit must surface as a decode error"
+        );
+    }
+
+    #[test]
+    fn non_compressed_class_never_engages_decompressor() {
+        let s = loopy();
+        let out = FullScheme::default().compress(&s.program).unwrap();
+        let (_, stats) = simulate_decoded(
+            &s.program,
+            &s.base_img,
+            &s.trace,
+            &FetchConfig::base(),
+            out.codec.as_ref(),
+        );
+        assert_eq!(stats, DecodeStats::default());
     }
 
     #[test]

@@ -185,9 +185,17 @@ impl CodeBook {
         self.total_bits(freqs) as f64 / total as f64
     }
 
-    /// Builds the canonical table decoder for this book.
+    /// Builds the canonical table decoder for this book — the
+    /// bit-serial reference implementation (the paper's Figure-9
+    /// hardware model).
     pub fn decoder(&self) -> crate::decode::CanonicalDecoder {
         crate::decode::CanonicalDecoder::new(self)
+    }
+
+    /// Builds the two-level lookup-table decoder for this book — the
+    /// fast kernel, observationally identical to [`CodeBook::decoder`].
+    pub fn lut_decoder(&self) -> crate::lut::LutDecoder {
+        crate::lut::LutDecoder::new(self)
     }
 
     /// Verifies the Kraft inequality `Σ 2^-len ≤ 1` (sanity check; always

@@ -58,6 +58,32 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// What the reference decode loop does with a fixed-width bit prefix —
+/// the unit [`crate::lut::LutDecoder`] tabulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PrefixClass {
+    /// A code of length `len` matches the top of the prefix.
+    Sym {
+        /// Decoded symbol.
+        sym: u32,
+        /// Codeword length in bits.
+        len: u8,
+    },
+    /// The walk raises [`DecodeError::InvalidCode`] after `depth` bits.
+    Invalid {
+        /// Bits consumed before the error.
+        depth: u8,
+    },
+    /// The walk raises [`DecodeError::LengthOverflow`] after `depth`
+    /// (= `max_len`) bits.
+    Overflow {
+        /// Bits consumed before the error.
+        depth: u8,
+    },
+    /// The codeword is longer than the prefix: more bits are needed.
+    Long,
+}
+
 /// A canonical Huffman decoder built from a [`CodeBook`].
 #[derive(Debug, Clone)]
 pub struct CanonicalDecoder {
@@ -119,6 +145,7 @@ impl CanonicalDecoder {
     }
 
     /// Decodes one symbol from the reader.
+    #[inline]
     pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, DecodeError> {
         let mut code = 0u64;
         for l in 1..=self.max_len as usize {
@@ -144,6 +171,38 @@ impl CanonicalDecoder {
         Err(DecodeError::LengthOverflow {
             at_bit: r.bit_pos(),
         })
+    }
+
+    /// Walks the reference decode loop over the top `nbits` bits of
+    /// `prefix` without touching a reader — exactly the branch sequence
+    /// [`CanonicalDecoder::decode`] takes, so [`crate::lut::LutDecoder`]
+    /// can precompute the outcome (symbol, error and its depth) for
+    /// every possible table index.
+    pub(crate) fn classify_prefix(&self, prefix: u64, nbits: u32) -> PrefixClass {
+        let mut code = 0u64;
+        for l in 1..=self.max_len as u32 {
+            if l > nbits {
+                return PrefixClass::Long;
+            }
+            let bit = (prefix >> (nbits - l)) & 1;
+            code = (code << 1) | bit;
+            let li = l as usize;
+            if self.count[li] > 0 {
+                let offset = code.wrapping_sub(self.first_code[li]);
+                if code >= self.first_code[li] && (offset as usize) < self.count[li] {
+                    return PrefixClass::Sym {
+                        sym: self.symbols[self.first_index[li] + offset as usize],
+                        len: l as u8,
+                    };
+                }
+            }
+            if code > self.last_code[li] {
+                return PrefixClass::Invalid { depth: l as u8 };
+            }
+        }
+        PrefixClass::Overflow {
+            depth: self.max_len,
+        }
     }
 
     /// Decodes exactly `n` symbols, failing on the first corrupt or

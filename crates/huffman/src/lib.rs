@@ -39,12 +39,14 @@ pub mod code;
 pub mod complexity;
 pub mod decode;
 pub mod dict;
+pub mod lut;
 
 pub use bitio::{BitReader, BitWriter};
 pub use code::{CodeBook, HuffmanError};
 pub use complexity::{decoder_transistors, DecoderComplexity};
 pub use decode::{CanonicalDecoder, DecodeError};
 pub use dict::Dictionary;
+pub use lut::LutDecoder;
 
 /// Shannon entropy of a frequency distribution, in bits per symbol.
 /// Zero-frequency entries are ignored. Returns 0.0 for degenerate inputs.

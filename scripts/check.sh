@@ -23,6 +23,13 @@ rm -rf "$CCC_SMOKE_DIR"
 rm -rf "$CCC_SMOKE_DIR"
 echo "warm rerun fully cache-served"
 
+echo "==> decode throughput smoke"
+# Short measurement; exits non-zero if the LUT decode path regresses
+# below the bit-serial reference on the byte scheme. Also refreshes
+# results/decode_throughput.txt and results/BENCH_decode.json.
+CCC_DECODE_SMOKE=1 cargo bench -p ccc-bench --bench decode_throughput >/dev/null
+echo "LUT decode fast path not slower than reference"
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -259,6 +259,85 @@ proptest! {
     }
 }
 
+/// Decodes `stream` to exhaustion with both the bit-serial reference
+/// and the two-level LUT decoder, asserting identical symbols, identical
+/// cursor positions after every step, and an identical terminal error
+/// (same variant at the same bit position).
+fn assert_lut_differential(book: &CodeBook, stream: &[u8], start: u64) {
+    let reference = book.decoder();
+    let lut = book.lut_decoder();
+    let mut a = BitReader::at_bit(stream, start);
+    let mut b = BitReader::at_bit(stream, start);
+    loop {
+        let x = reference.decode(&mut a);
+        let y = lut.decode(&mut b);
+        assert_eq!(x, y, "decoder divergence at bit {}", a.bit_pos());
+        assert_eq!(a.bit_pos(), b.bit_pos(), "cursor drift");
+        if x.is_err() {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The LUT decoder is observationally identical to the reference on
+    /// valid encoded messages over arbitrary codebooks — including the
+    /// final error where decoding runs into the zero padding.
+    #[test]
+    fn lut_matches_reference_on_valid_streams(
+        freqs in prop::collection::vec(0u64..1000, 2..64),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(freqs.iter().any(|&f| f > 0));
+        let book = CodeBook::from_freqs(&freqs).unwrap();
+        let coded: Vec<u32> =
+            (0..freqs.len() as u32).filter(|&s| book.len_of(s) > 0).collect();
+        let mut x = seed | 1;
+        let mut w = BitWriter::new();
+        for _ in 0..300 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            book.encode_into(coded[(x >> 33) as usize % coded.len()], &mut w);
+        }
+        let bytes = w.into_bytes();
+        assert_lut_differential(&book, &bytes, 0);
+    }
+
+    /// On arbitrary corrupted streams, from every bit offset, both
+    /// decoders report the same error variant at the same bit position.
+    #[test]
+    fn lut_matches_reference_on_garbage(
+        freqs in prop::collection::vec(0u64..1000, 2..64),
+        bytes in prop::collection::vec(any::<u8>(), 0..96),
+        start in 0u64..8,
+    ) {
+        prop_assume!(freqs.iter().any(|&f| f > 0));
+        let book = CodeBook::from_freqs(&freqs).unwrap();
+        assert_lut_differential(&book, &bytes, start);
+    }
+
+    /// Incomplete books (dropped codewords leave unreachable holes in
+    /// the canonical code space) raise `InvalidCode`/`LengthOverflow`
+    /// identically on both decoders.
+    #[test]
+    fn lut_matches_reference_on_incomplete_books(
+        freqs in prop::collection::vec(1u64..1000, 3..48),
+        drop_mask in any::<u64>(),
+        bytes in prop::collection::vec(any::<u8>(), 0..96),
+        start in 0u64..8,
+    ) {
+        let complete = CodeBook::from_freqs(&freqs).unwrap();
+        // Dropping codewords only lowers the Kraft sum, so the lengths
+        // stay canonically realizable (with unreachable code space).
+        let lengths: Vec<u8> = (0..freqs.len() as u32)
+            .map(|s| if drop_mask >> (s % 64) & 1 == 1 { 0 } else { complete.len_of(s) })
+            .collect();
+        let book = CodeBook::from_lengths(lengths);
+        assert_lut_differential(&book, &bytes, start);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
