@@ -29,11 +29,12 @@ use ccc_core::schemes::{
     tailored::TailoredScheme, CompressError, Scheme,
 };
 use ccc_core::{CompressionReport, EncodedProgram, CODEC_VERSION};
+use ccc_telemetry::{Clock, MonotonicClock, SharedSink, TraceEvent};
 use std::fmt;
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
 use tepic_isa::wire::{Fnv128, WireError};
 use tepic_isa::{Program, PROGRAM_WIRE_VERSION};
 use tinker_workloads::{Workload, WorkloadError};
@@ -193,6 +194,29 @@ impl EngineSnapshot {
         }
         out
     }
+
+    /// Folds the snapshot into a metrics registry under `engine.*`, the
+    /// same reporting path `tepic-cc` uses for fetch and fault metrics.
+    pub fn record_metrics(&self, registry: &ccc_telemetry::MetricsRegistry) {
+        let pairs: [(&str, u64); 13] = [
+            ("engine.program_hits", self.program_hits),
+            ("engine.program_misses", self.program_misses),
+            ("engine.trace_hits", self.trace_hits),
+            ("engine.trace_misses", self.trace_misses),
+            ("engine.image_hits", self.image_hits),
+            ("engine.image_misses", self.image_misses),
+            ("engine.report_hits", self.report_hits),
+            ("engine.report_misses", self.report_misses),
+            ("engine.corrupt_entries", self.corrupt_entries),
+            ("engine.compile_ns", self.compile_ns),
+            ("engine.emulate_ns", self.emulate_ns),
+            ("engine.encode_ns", self.encode_ns),
+            ("engine.report_ns", self.report_ns),
+        ];
+        for (name, v) in pairs {
+            registry.counter(name).add(v);
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -229,6 +253,17 @@ impl Kind {
             Kind::Report => "report",
         }
     }
+
+    /// The pipeline-stage name used for span events (matches the
+    /// [`EngineSnapshot`] timer the stage feeds).
+    fn stage(self) -> &'static str {
+        match self {
+            Kind::Program => "compile",
+            Kind::Trace => "emulate",
+            Kind::Image => "encode",
+            Kind::Report => "report",
+        }
+    }
 }
 
 /// Sensible worker count for this host.
@@ -252,6 +287,8 @@ pub struct Engine {
     jobs: usize,
     cache: Option<ArtifactCache>,
     counters: Counters,
+    clock: Arc<dyn Clock>,
+    sink: Option<SharedSink>,
 }
 
 impl Engine {
@@ -261,6 +298,8 @@ impl Engine {
             jobs: jobs.max(1),
             cache: None,
             counters: Counters::default(),
+            clock: Arc::new(MonotonicClock::new()),
+            sink: None,
         }
     }
 
@@ -274,7 +313,31 @@ impl Engine {
             jobs: jobs.max(1),
             cache: Some(ArtifactCache::open(dir)?),
             counters: Counters::default(),
+            clock: Arc::new(MonotonicClock::new()),
+            sink: None,
         })
+    }
+
+    /// Replaces the clock the stage timers read. Tests inject a
+    /// [`ccc_telemetry::FakeClock`] to make timer values deterministic.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Engine {
+        self.clock = clock;
+        self
+    }
+
+    /// Attaches a span sink: every cold build and every cache probe is
+    /// recorded as a [`TraceEvent::Span`] named after its pipeline stage
+    /// (`compile`/`emulate`/`encode`/`report`, plus `cache-probe`).
+    #[must_use]
+    pub fn with_trace_sink(mut self, sink: SharedSink) -> Engine {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The attached span sink, if any.
+    pub fn trace_sink(&self) -> Option<&SharedSink> {
+        self.sink.as_ref()
     }
 
     /// An engine configured from the environment: `CCC_JOBS` (default:
@@ -370,7 +433,18 @@ impl Engine {
         build: impl FnOnce() -> Result<T, PrepareError>,
     ) -> Result<T, PrepareError> {
         if let Some(cache) = &self.cache {
-            match cache.load(key) {
+            // Only pay for clock reads on the probe when someone listens.
+            let probe_start = self.sink.as_ref().map(|_| self.clock.now_ns());
+            let looked = cache.load(key);
+            if let (Some(sink), Some(start)) = (&self.sink, probe_start) {
+                sink.record(TraceEvent::Span {
+                    name: "cache-probe",
+                    detail: format!("{}/{}", kind.name(), key.label),
+                    start_ns: start,
+                    dur_ns: self.clock.now_ns().saturating_sub(start),
+                });
+            }
+            match looked {
                 Lookup::Hit(payload) => match decode(&payload) {
                     Ok(v) => {
                         self.bump(kind, true);
@@ -392,11 +466,19 @@ impl Engine {
                 Lookup::Miss => {}
             }
         }
-        let start = Instant::now();
+        let start = self.clock.now_ns();
         let value = build()?;
-        self.timer_of(kind)
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let dur = self.clock.now_ns().saturating_sub(start);
+        self.timer_of(kind).fetch_add(dur, Ordering::Relaxed);
         self.bump(kind, false);
+        if let Some(sink) = &self.sink {
+            sink.record(TraceEvent::Span {
+                name: kind.stage(),
+                detail: key.label.clone(),
+                start_ns: start,
+                dur_ns: dur,
+            });
+        }
         if let Some(cache) = &self.cache {
             // A failed store is not fatal — the artifact is in memory.
             let _ = cache.store(key, &encode(&value));
@@ -749,6 +831,60 @@ mod tests {
         for ((na, ia), (nb, ib)) in a[0].images().zip(b[0].images()) {
             assert_eq!(na, nb);
             assert_eq!(ia, ib, "{na}: warm image differs from cold");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fake_clock_makes_stage_timers_deterministic() {
+        use ccc_telemetry::FakeClock;
+        // jobs=1 serializes the builds; each cold build brackets exactly
+        // two clock reads, so every stage timer is an exact multiple of
+        // the fake clock's step.
+        const STEP: u64 = 1_000;
+        let eng = Engine::uncached(1).with_clock(Arc::new(FakeClock::with_step(STEP)));
+        eng.prepare(&[GOOD]).unwrap();
+        let snap = eng.snapshot();
+        assert_eq!(snap.compile_ns, STEP, "one compile build");
+        assert_eq!(snap.emulate_ns, STEP, "one emulate build");
+        assert_eq!(
+            snap.encode_ns,
+            STEP * MATRIX_SCHEMES.len() as u64,
+            "one encode build per matrix scheme"
+        );
+        assert_eq!(snap.report_ns, 0, "no report requested");
+    }
+
+    #[test]
+    fn sink_records_one_span_per_cold_build_and_probe() {
+        use ccc_telemetry::{SharedSink, TraceEvent};
+        let dir = scratch("spans");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = SharedSink::new(1 << 12);
+        let eng = Engine::with_cache_dir(2, &dir)
+            .unwrap()
+            .with_trace_sink(sink.clone());
+        eng.prepare(&[GOOD]).unwrap();
+        let events = eng.trace_sink().unwrap().drain();
+        let count = |stage: &str| {
+            events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Span { name, .. } if *name == stage))
+                .count() as u64
+        };
+        assert_eq!(count("compile"), 1);
+        assert_eq!(count("emulate"), 1);
+        assert_eq!(count("encode"), MATRIX_SCHEMES.len() as u64);
+        assert_eq!(
+            count("cache-probe"),
+            2 + MATRIX_SCHEMES.len() as u64,
+            "every cached() call probes once"
+        );
+        // Span durations come from a monotonic clock.
+        for e in &events {
+            if let TraceEvent::Span { name, detail, .. } = e {
+                assert!(!detail.is_empty(), "span {name} has an empty detail");
+            }
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

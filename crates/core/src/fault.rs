@@ -592,6 +592,36 @@ impl CampaignReport {
         s
     }
 
+    /// Records every per-fault-site outcome into `registry` under
+    /// `fault.<scheme>.<target>.<outcome>` counters (plus the campaign
+    /// seed and size as gauges), so faultsim reports flow through the
+    /// same telemetry path — and the same snapshot exporter — as the
+    /// bench and fetch counters.
+    pub fn record_metrics(&self, registry: &ccc_telemetry::MetricsRegistry) {
+        registry.gauge("fault.seed").set(self.seed as i64);
+        registry
+            .gauge("fault.faults_per_target")
+            .set(self.faults_per_target as i64);
+        let record = |scheme: &str, target: &str, t: &Tally| {
+            for (outcome, n) in [
+                ("detected", t.detected),
+                ("contained", t.contained),
+                ("sdc", t.sdc),
+                ("masked", t.masked),
+            ] {
+                registry
+                    .counter(&format!("fault.{scheme}.{target}.{outcome}"))
+                    .add(n);
+            }
+        };
+        for r in &self.rows {
+            record(&r.scheme, "payload", &r.payload);
+            record(&r.scheme, "payload_raw", &r.payload_raw);
+            record(&r.scheme, "dictionary", &r.dictionary);
+            record(&r.scheme, "att", &r.att);
+        }
+    }
+
     /// True when no CRC-protected region leaked silent corruption — the
     /// campaign's headline guarantee.
     pub fn zero_sdc_in_protected_regions(&self) -> bool {
@@ -711,6 +741,30 @@ mod tests {
             },
         );
         assert_ne!(a.render(), c.render());
+    }
+
+    #[test]
+    fn metrics_recording_accounts_for_every_fault() {
+        let p = sample_program();
+        let cfg = CampaignConfig {
+            seed: 3,
+            faults_per_target: 10,
+        };
+        let rep = run_campaign(&p, &cfg);
+        let reg = ccc_telemetry::MetricsRegistry::new();
+        rep.record_metrics(&reg);
+        // 5 schemes × 4 targets × faults_per_target outcomes, all
+        // landing in some counter.
+        let total: u64 = reg.counters().iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 5 * 4 * cfg.faults_per_target);
+        assert_eq!(reg.gauge("fault.seed").get(), 3);
+        assert_eq!(
+            reg.counter("fault.base.payload.detected").get()
+                + reg.counter("fault.base.payload.contained").get()
+                + reg.counter("fault.base.payload.sdc").get()
+                + reg.counter("fault.base.payload.masked").get(),
+            cfg.faults_per_target
+        );
     }
 
     #[test]

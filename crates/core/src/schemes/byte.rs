@@ -9,7 +9,9 @@
 use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::{Program, OP_BYTES};
-use tinker_huffman::{BitReader, BitWriter, CodeBook, DecoderComplexity, LutDecoder};
+use tinker_huffman::{
+    BitReader, BitWriter, CodeBook, DecodeCounters, DecoderComplexity, LutDecoder,
+};
 
 /// Byte-alphabet Huffman scheme.
 #[derive(Debug, Clone, Copy)]
@@ -43,8 +45,20 @@ impl BlockCodec for ByteCodec {
         b: usize,
         num_ops: usize,
     ) -> Result<Vec<u64>, BlockDecodeError> {
+        self.decode_block_counted(image, b, num_ops, &mut DecodeCounters::default())
+    }
+
+    fn decode_block_counted(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+        counts: &mut DecodeCounters,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
         let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
-        let syms = self.decoder.decode_n(&mut r, num_ops * OP_BYTES)?;
+        let syms = self
+            .decoder
+            .decode_n_counted(&mut r, num_ops * OP_BYTES, counts)?;
         let mut out = Vec::with_capacity(num_ops);
         for chunk in syms.chunks_exact(OP_BYTES) {
             let mut w = [0u8; 8];

@@ -10,7 +10,9 @@
 use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::{Program, OP_BITS};
-use tinker_huffman::{BitReader, BitWriter, CodeBook, DecoderComplexity, Dictionary, LutDecoder};
+use tinker_huffman::{
+    BitReader, BitWriter, CodeBook, DecodeCounters, DecoderComplexity, Dictionary, LutDecoder,
+};
 
 /// Whole-op Huffman scheme.
 #[derive(Debug, Clone, Copy)]
@@ -38,8 +40,18 @@ impl BlockCodec for FullCodec {
         b: usize,
         num_ops: usize,
     ) -> Result<Vec<u64>, BlockDecodeError> {
+        self.decode_block_counted(image, b, num_ops, &mut DecodeCounters::default())
+    }
+
+    fn decode_block_counted(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+        counts: &mut DecodeCounters,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
         let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
-        let syms = self.decoder.decode_n(&mut r, num_ops)?;
+        let syms = self.decoder.decode_n_counted(&mut r, num_ops, counts)?;
         let mut out = Vec::with_capacity(num_ops);
         for sym in syms {
             let word = self

@@ -16,7 +16,7 @@ use crate::encoded::EncodedProgram;
 use crate::integrity::{crc32, IntegrityError};
 use std::fmt;
 use tepic_isa::Program;
-use tinker_huffman::DecodeError;
+use tinker_huffman::{DecodeCounters, DecodeError};
 
 /// Compression failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -157,6 +157,27 @@ pub trait BlockCodec {
         b: usize,
         num_ops: usize,
     ) -> Result<Vec<u64>, BlockDecodeError>;
+
+    /// [`BlockCodec::decode_block`] with decode-effort telemetry folded
+    /// into `counts`: symbols decoded, modelled stall bits (one Figure-9
+    /// tree level per bit) and first-level LUT overflows. The default
+    /// decodes without counting — correct for codecs with no serial
+    /// Huffman machinery (Base's raw words, Tailored's fixed-width
+    /// fields resolve in parallel, stalling nothing).
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`BlockCodec::decode_block`] produces.
+    fn decode_block_counted(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+        counts: &mut DecodeCounters,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
+        let _ = counts;
+        self.decode_block(image, b, num_ops)
+    }
 
     /// Serializes the codec's decode tables (Huffman dictionaries,
     /// dense renumberings) into a deterministic byte image, the unit the

@@ -13,7 +13,9 @@
 use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::{Program, OP_BITS};
-use tinker_huffman::{BitReader, BitWriter, CodeBook, DecoderComplexity, Dictionary, LutDecoder};
+use tinker_huffman::{
+    BitReader, BitWriter, CodeBook, DecodeCounters, DecoderComplexity, Dictionary, LutDecoder,
+};
 
 /// Whole-op-pair Huffman scheme.
 #[derive(Debug, Clone, Copy)]
@@ -42,10 +44,20 @@ impl BlockCodec for PairCodec {
         b: usize,
         num_ops: usize,
     ) -> Result<Vec<u64>, BlockDecodeError> {
+        self.decode_block_counted(image, b, num_ops, &mut DecodeCounters::default())
+    }
+
+    fn decode_block_counted(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+        counts: &mut DecodeCounters,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
         let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
         let mut out = Vec::with_capacity(num_ops);
         while out.len() + 1 < num_ops {
-            let sym = self.pair_decoder.decode(&mut r)?;
+            let sym = self.pair_decoder.decode_counted(&mut r, counts)?;
             let (a, c) = *self
                 .pair_values
                 .get(sym as usize)
@@ -62,7 +74,7 @@ impl BlockCodec for PairCodec {
                 .ok_or(BlockDecodeError::BadValue {
                     field: "singles table",
                 })?;
-            let sym = dec.decode(&mut r)?;
+            let sym = dec.decode_counted(&mut r, counts)?;
             let v = self
                 .single_values
                 .get(sym as usize)

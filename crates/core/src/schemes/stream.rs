@@ -17,7 +17,9 @@
 use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::Program;
-use tinker_huffman::{BitReader, BitWriter, CodeBook, DecoderComplexity, Dictionary, LutDecoder};
+use tinker_huffman::{
+    BitReader, BitWriter, CodeBook, DecodeCounters, DecoderComplexity, Dictionary, LutDecoder,
+};
 
 /// A stream configuration: cut points over the 40-bit word. `cuts` must
 /// start at 0, end at 40, and be strictly increasing.
@@ -141,13 +143,23 @@ impl BlockCodec for StreamCodec {
         b: usize,
         num_ops: usize,
     ) -> Result<Vec<u64>, BlockDecodeError> {
+        self.decode_block_counted(image, b, num_ops, &mut DecodeCounters::default())
+    }
+
+    fn decode_block_counted(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+        counts: &mut DecodeCounters,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
         let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
         let mut out = Vec::with_capacity(num_ops);
         for _ in 0..num_ops {
             let mut word = 0u64;
             for (si, dec) in self.decoders.iter().enumerate() {
                 let (off, _) = self.config.stream_bits(si);
-                let sym = dec.decode(&mut r)?;
+                let sym = dec.decode_counted(&mut r, counts)?;
                 let v = self.values[si]
                     .get(sym as usize)
                     .ok_or(BlockDecodeError::BadValue {

@@ -11,7 +11,9 @@ use crate::penalty::{Outcome, PenaltyTable};
 use crate::power::BusModel;
 use ccc_core::schemes::BlockCodec;
 use ccc_core::{AddressTranslationTable, EncodedProgram};
+use ccc_telemetry::{EventCounts, FetchEventKind, MetricsRegistry, TraceEvent, TraceSink};
 use tepic_isa::Program;
+use tinker_huffman::DecodeCounters;
 use yula::BlockTrace;
 
 /// Which fetch organization to simulate.
@@ -220,6 +222,30 @@ impl FetchResult {
             self.atb_hits as f64 / t as f64
         }
     }
+
+    /// Folds every counter into `registry` under `fetch.*` names, so a
+    /// run's results land in the same snapshot as the engine and decode
+    /// telemetry (`results/METRICS_<scheme>.json`).
+    pub fn record_metrics(&self, registry: &MetricsRegistry) {
+        for (name, v) in [
+            ("fetch.cycles", self.cycles),
+            ("fetch.ops", self.ops),
+            ("fetch.mops", self.mops),
+            ("fetch.pred_correct", self.pred_correct),
+            ("fetch.pred_wrong", self.pred_wrong),
+            ("fetch.cache_hits", self.cache_hits),
+            ("fetch.cache_misses", self.cache_misses),
+            ("fetch.buffer_hits", self.buffer_hits),
+            ("fetch.buffer_misses", self.buffer_misses),
+            ("fetch.atb_hits", self.atb_hits),
+            ("fetch.atb_misses", self.atb_misses),
+            ("fetch.bus_beats", self.bus_beats),
+            ("fetch.bus_bit_flips", self.bus_bit_flips),
+            ("fetch.integrity_faults", self.integrity_faults),
+        ] {
+            registry.counter(name).add(v);
+        }
+    }
 }
 
 /// Decompressor activity observed when a [`BlockCodec`] rides along via
@@ -236,6 +262,28 @@ pub struct DecodeStats {
     /// Decodes that errored or reconstructed the wrong op words. Zero on
     /// a clean image.
     pub decode_errors: u64,
+    /// Codewords that overflowed the simulator's first-level decode LUT
+    /// into the bit-serial reference walk (the "Long" path) — a software
+    /// fast-path quality measure, not a modelled-hardware cost.
+    pub long_fallbacks: u64,
+    /// Total codeword bits consumed — one Figure-9 tree level per bit,
+    /// so this is the modelled serial-decoder stall-cycle count.
+    pub stall_bits: u64,
+}
+
+impl DecodeStats {
+    /// Folds the counters into `registry` under `decode.*` names.
+    pub fn record_metrics(&self, registry: &MetricsRegistry) {
+        for (name, v) in [
+            ("decode.blocks_decoded", self.blocks_decoded),
+            ("decode.ops_decoded", self.ops_decoded),
+            ("decode.decode_errors", self.decode_errors),
+            ("decode.long_fallbacks", self.long_fallbacks),
+            ("decode.stall_bits", self.stall_bits),
+        ] {
+            registry.counter(name).add(v);
+        }
+    }
 }
 
 /// Runs one configuration over a program, its encoded image and its
@@ -263,7 +311,50 @@ pub fn simulate_with_att(
     trace: &BlockTrace,
     config: &FetchConfig,
 ) -> FetchResult {
-    simulate_inner(program, image, att, trace, config, None)
+    simulate_inner(program, image, att, trace, config, None, None)
+}
+
+/// [`simulate`] with structured event tracing: every per-block pipeline
+/// event (cache hit/miss with its bank, ATB hit/miss, predictor
+/// outcome, L0 hit/fill, decode stall, integrity fault) is recorded
+/// into `sink`, stamped with the simulated cycle. The [`FetchResult`]
+/// is **identical** to the untraced run — tracing observes, never
+/// steers — and before returning, the engine asserts that the traced
+/// event counts reconcile exactly with the result's own counters.
+pub fn simulate_traced(
+    program: &Program,
+    image: &EncodedProgram,
+    trace: &BlockTrace,
+    config: &FetchConfig,
+    sink: &mut dyn TraceSink,
+) -> FetchResult {
+    let att = AddressTranslationTable::build(program, image);
+    simulate_inner(program, image, &att, trace, config, None, Some(sink))
+}
+
+/// [`simulate_decoded`] with structured event tracing — see
+/// [`simulate_traced`]. Both the [`FetchResult`] and the
+/// [`DecodeStats`] are identical to the untraced run.
+pub fn simulate_decoded_traced(
+    program: &Program,
+    image: &EncodedProgram,
+    trace: &BlockTrace,
+    config: &FetchConfig,
+    codec: &dyn BlockCodec,
+    sink: &mut dyn TraceSink,
+) -> (FetchResult, DecodeStats) {
+    let att = AddressTranslationTable::build(program, image);
+    let mut stats = DecodeStats::default();
+    let r = simulate_inner(
+        program,
+        image,
+        &att,
+        trace,
+        config,
+        Some((codec, &mut stats)),
+        Some(sink),
+    );
+    (r, stats)
 }
 
 /// [`simulate`] with the real decompressor on the fetch path: whenever
@@ -288,10 +379,34 @@ pub fn simulate_decoded(
         trace,
         config,
         Some((codec, &mut stats)),
+        None,
     );
     (r, stats)
 }
 
+/// Event recorder threaded through the traced runs: forwards each event
+/// to the sink while tallying per-kind counts for the post-run
+/// reconciliation check. Only constructed when a sink is supplied, so
+/// untraced runs execute the exact pre-telemetry path.
+struct Tracer<'s> {
+    sink: &'s mut dyn TraceSink,
+    counts: EventCounts,
+}
+
+impl Tracer<'_> {
+    fn fetch(&mut self, seq: u64, cycle: u64, block: u32, kind: FetchEventKind) {
+        let ev = TraceEvent::Fetch {
+            seq,
+            cycle,
+            block,
+            kind,
+        };
+        self.counts.add(&ev);
+        self.sink.record(ev);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn simulate_inner(
     program: &Program,
     image: &EncodedProgram,
@@ -299,7 +414,12 @@ fn simulate_inner(
     trace: &BlockTrace,
     config: &FetchConfig,
     mut decode: Option<(&dyn BlockCodec, &mut DecodeStats)>,
+    sink: Option<&mut dyn TraceSink>,
 ) -> FetchResult {
+    let mut tracer = sink.map(|sink| Tracer {
+        sink,
+        counts: EventCounts::default(),
+    });
     let mut atb = Atb::new(config.atb_entries);
     let mut gshare = match config.predictor {
         PredictorKind::Gshare { history_bits } => Some(Gshare::new(history_bits)),
@@ -336,7 +456,9 @@ fn simulate_inner(
     // (None for the very first block: treated as predicted — cold start).
     let mut predicted_cur: Option<u32> = None;
 
+    let mut seq = 0u64;
     for (cur, next) in trace.transitions() {
+        seq += 1;
         let info = &program.blocks()[cur as usize];
         r.ops += info.num_ops as u64;
         r.mops += info.num_mops as u64;
@@ -353,16 +475,41 @@ fn simulate_inner(
             } else {
                 r.pred_wrong += 1;
             }
+            if let Some(t) = tracer.as_mut() {
+                let kind = if predicted {
+                    FetchEventKind::PredCorrect
+                } else {
+                    FetchEventKind::PredWrong
+                };
+                t.fetch(seq, r.cycles, cur, kind);
+            }
         }
 
         let entry = att.lookup(cur as usize);
         let atb_hit = atb.access(cur, entry);
+        if let Some(t) = tracer.as_mut() {
+            let kind = if atb_hit {
+                FetchEventKind::AtbHit
+            } else {
+                FetchEventKind::AtbMiss {
+                    penalty: if translated {
+                        config.atb_miss_penalty
+                    } else {
+                        0
+                    },
+                }
+            };
+            t.fetch(seq, r.cycles, cur, kind);
+        }
         if translated && !atb_hit {
             r.cycles += config.atb_miss_penalty as u64;
             // The entry just arrived from code memory: run its CRC-8
             // self-check before letting it steer the fetch.
             if !entry.self_check() {
                 r.integrity_faults += 1;
+                if let Some(t) = tracer.as_mut() {
+                    t.fetch(seq, r.cycles, cur, FetchEventKind::IntegrityFault);
+                }
             }
         }
 
@@ -372,13 +519,26 @@ fn simulate_inner(
         // The L0 buffer has priority over the main cache (paper §4): a
         // buffer hit never touches the cache or the bus.
         let buffer_hit = compressed && buffer.access(cur, info.num_ops as u32);
+        if compressed {
+            if let Some(t) = tracer.as_mut() {
+                let kind = if buffer_hit {
+                    FetchEventKind::L0Hit
+                } else {
+                    FetchEventKind::L0Fill {
+                        ops: info.num_ops as u32,
+                    }
+                };
+                t.fetch(seq, r.cycles, cur, kind);
+            }
+        }
         if compressed && !buffer_hit {
             // The decompressor engages: the block's compressed bits —
             // whether they come from the cache or from memory — are
             // decoded into the buffer before ops can issue.
             if let Some((codec, stats)) = decode.as_mut() {
                 stats.blocks_decoded += 1;
-                match codec.decode_block(image, cur as usize, info.num_ops) {
+                let mut counters = DecodeCounters::default();
+                match codec.decode_block_counted(image, cur as usize, info.num_ops, &mut counters) {
                     Ok(words) => {
                         stats.ops_decoded += words.len() as u64;
                         let ok = words
@@ -391,12 +551,28 @@ fn simulate_inner(
                     }
                     Err(_) => stats.decode_errors += 1,
                 }
+                stats.long_fallbacks += counters.long_fallbacks;
+                stats.stall_bits += counters.stall_bits;
             }
         }
+        // Bank of the block's first line: lines interleave across the
+        // two banks of the Figure-8 fetch design.
+        let bank = ((start / config.cache.line_bytes as u64) % 2) as u8;
         let cache_hit = if buffer_hit {
             true
         } else {
             let access = cache.access_block(start, end);
+            if let Some(t) = tracer.as_mut() {
+                let kind = if access.hit {
+                    FetchEventKind::CacheHit { bank }
+                } else {
+                    FetchEventKind::CacheMiss {
+                        bank,
+                        lines: access.fetched_lines.len() as u32,
+                    }
+                };
+                t.fetch(seq, r.cycles, cur, kind);
+            }
             for &l in &access.fetched_lines {
                 bus.transfer_line(&image.bytes, l, config.cache.line_bytes);
             }
@@ -407,6 +583,9 @@ fn simulate_inner(
                 && !entry.verify_payload(&image.bytes[start as usize..end as usize])
             {
                 r.integrity_faults += 1;
+                if let Some(t) = tracer.as_mut() {
+                    t.fetch(seq, r.cycles, cur, FetchEventKind::IntegrityFault);
+                }
             }
             access.hit
         };
@@ -416,6 +595,20 @@ fn simulate_inner(
             cache_hit,
             buffer_hit,
         });
+        if compressed && !buffer_hit {
+            // The Table-1 penalty charged on an L0 fill is the modelled
+            // fetch+decompress stall for this block.
+            if let Some(t) = tracer.as_mut() {
+                t.fetch(
+                    seq,
+                    r.cycles,
+                    cur,
+                    FetchEventKind::DecodeStall {
+                        cycles: pen.cycles(lines),
+                    },
+                );
+            }
+        }
         r.cycles += pen.cycles(lines) as u64 + (info.num_mops as u64).saturating_sub(1);
 
         // Predict the next block from this block's entry, then train.
@@ -445,6 +638,32 @@ fn simulate_inner(
     r.atb_misses = atb.misses();
     r.bus_beats = bus.beats();
     r.bus_bit_flips = bus.bit_flips();
+
+    // Traced runs must reconcile exactly: every counter the components
+    // accumulated has a matching stream of recorded events. A mismatch
+    // means an emission site drifted from the model — fail loudly.
+    if let Some(t) = &tracer {
+        let c = &t.counts;
+        let pairs = [
+            ("cache_hits", c.cache_hits, r.cache_hits),
+            ("cache_misses", c.cache_misses, r.cache_misses),
+            ("buffer_hits", c.buffer_hits, r.buffer_hits),
+            ("buffer_misses", c.buffer_misses, r.buffer_misses),
+            ("atb_hits", c.atb_hits, r.atb_hits),
+            ("atb_misses", c.atb_misses, r.atb_misses),
+            ("pred_correct", c.pred_correct, r.pred_correct),
+            ("pred_wrong", c.pred_wrong, r.pred_wrong),
+            ("integrity_faults", c.integrity_faults, r.integrity_faults),
+            // Every L0 fill engages the decompressor exactly once.
+            ("decode_stalls", c.decode_stalls, r.buffer_misses),
+        ];
+        for (name, traced, counted) in pairs {
+            assert_eq!(
+                traced, counted,
+                "trace/counter divergence on {name}: {traced} events vs {counted} counted"
+            );
+        }
+    }
     r
 }
 
@@ -727,6 +946,80 @@ mod tests {
             out.codec.as_ref(),
         );
         assert_eq!(stats, DecodeStats::default());
+    }
+
+    #[test]
+    fn traced_run_is_identical_and_reconciles_for_every_class() {
+        use ccc_telemetry::{NoopSink, RingSink};
+        let s = loopy();
+        for (img, cfg) in [
+            (&s.base_img, FetchConfig::base()),
+            (&s.tail_img, FetchConfig::tailored()),
+            (&s.comp_img, FetchConfig::compressed()),
+            (&s.base_img, FetchConfig::ideal()),
+        ] {
+            let plain = simulate(&s.program, img, &s.trace, &cfg);
+            let mut ring = RingSink::new(1 << 22);
+            let traced = simulate_traced(&s.program, img, &s.trace, &cfg, &mut ring);
+            assert_eq!(traced, plain, "{:?}: tracing must not steer", cfg.class);
+            let c = ring.counts();
+            assert_eq!(c.cache_hits, plain.cache_hits, "{:?}", cfg.class);
+            assert_eq!(c.cache_misses, plain.cache_misses, "{:?}", cfg.class);
+            assert_eq!(c.buffer_hits, plain.buffer_hits, "{:?}", cfg.class);
+            assert_eq!(c.buffer_misses, plain.buffer_misses, "{:?}", cfg.class);
+            assert_eq!(c.atb_hits, plain.atb_hits, "{:?}", cfg.class);
+            assert_eq!(c.atb_misses, plain.atb_misses, "{:?}", cfg.class);
+            assert_eq!(c.pred_correct, plain.pred_correct, "{:?}", cfg.class);
+            assert_eq!(c.pred_wrong, plain.pred_wrong, "{:?}", cfg.class);
+            assert_eq!(c.integrity_faults, 0, "{:?}", cfg.class);
+            if cfg.class == EncodingClass::Ideal {
+                assert_eq!(c.total(), 0, "ideal fetch touches no structure");
+            } else {
+                assert!(!ring.is_empty(), "{:?} must record events", cfg.class);
+            }
+            // The no-op sink works too (and discards everything).
+            let mut noop = NoopSink;
+            let quiet = simulate_traced(&s.program, img, &s.trace, &cfg, &mut noop);
+            assert_eq!(quiet, plain);
+        }
+    }
+
+    #[test]
+    fn traced_decoded_run_reports_decode_effort() {
+        use ccc_telemetry::RingSink;
+        let s = loopy();
+        let out = FullScheme::default().compress(&s.program).unwrap();
+        let (plain, plain_stats) = simulate_decoded(
+            &s.program,
+            &out.image,
+            &s.trace,
+            &FetchConfig::compressed(),
+            out.codec.as_ref(),
+        );
+        let mut ring = RingSink::new(1 << 22);
+        let (traced, stats) = simulate_decoded_traced(
+            &s.program,
+            &out.image,
+            &s.trace,
+            &FetchConfig::compressed(),
+            out.codec.as_ref(),
+            &mut ring,
+        );
+        assert_eq!(traced, plain);
+        assert_eq!(stats, plain_stats);
+        assert_eq!(stats.decode_errors, 0);
+        assert!(
+            stats.stall_bits > 0,
+            "huffman decode must consume codeword bits"
+        );
+        // One decode-stall event per L0 fill, by construction.
+        assert_eq!(ring.counts().decode_stalls, traced.buffer_misses);
+        // Metrics recording is total-preserving.
+        let reg = MetricsRegistry::new();
+        traced.record_metrics(&reg);
+        stats.record_metrics(&reg);
+        assert_eq!(reg.counter("fetch.cycles").get(), traced.cycles);
+        assert_eq!(reg.counter("decode.stall_bits").get(), stats.stall_bits);
     }
 
     #[test]

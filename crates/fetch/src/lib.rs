@@ -32,7 +32,8 @@ pub mod power;
 pub mod units;
 
 pub use engine::{
-    simulate, simulate_with_att, EncodingClass, FetchConfig, FetchResult, PredictorKind,
+    simulate, simulate_decoded, simulate_decoded_traced, simulate_traced, simulate_with_att,
+    DecodeStats, EncodingClass, FetchConfig, FetchResult, PredictorKind,
 };
 pub use penalty::{Outcome, Penalty, PenaltyTable};
 pub use units::{simulate_with_units, FetchUnits};

@@ -58,6 +58,37 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Decode-effort counters, tallied by the `*_counted` decode variants.
+///
+/// Plain (non-atomic) `u64`s by design: the decoders sit on the
+/// simulator's hottest loop, and the uncounted entry points pass a
+/// throwaway instance that the optimizer strips — callers that want the
+/// numbers thread their own instance through and fold it into the
+/// telemetry registry afterwards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCounters {
+    /// Symbols successfully decoded.
+    pub symbols: u64,
+    /// Codewords that overflowed the first-level lookup table and took
+    /// the bit-serial reference walk (the `Long` table entry). Always 0
+    /// for the reference decoder itself.
+    pub long_fallbacks: u64,
+    /// Total bits consumed across all codewords (including the bits of
+    /// a terminal error prefix). The paper's Figure-9 tree decoder
+    /// resolves one level — one bit — per cycle, so this doubles as the
+    /// modelled decode-stall cycle count.
+    pub stall_bits: u64,
+}
+
+impl DecodeCounters {
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: &DecodeCounters) {
+        self.symbols += other.symbols;
+        self.long_fallbacks += other.long_fallbacks;
+        self.stall_bits += other.stall_bits;
+    }
+}
+
 /// What the reference decode loop does with a fixed-width bit prefix —
 /// the unit [`crate::lut::LutDecoder`] tabulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +202,29 @@ impl CanonicalDecoder {
         Err(DecodeError::LengthOverflow {
             at_bit: r.bit_pos(),
         })
+    }
+
+    /// Decodes one symbol while tallying decode effort: the bits
+    /// consumed (= Figure-9 stall cycles, one tree level per cycle) and
+    /// the symbol count. Behaviour is identical to
+    /// [`CanonicalDecoder::decode`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`CanonicalDecoder::decode`] produces; the
+    /// bits of the failing prefix are still charged to `stall_bits`.
+    pub fn decode_counted(
+        &self,
+        r: &mut BitReader<'_>,
+        counts: &mut DecodeCounters,
+    ) -> Result<u32, DecodeError> {
+        let start = r.bit_pos();
+        let res = self.decode(r);
+        counts.stall_bits += r.bit_pos() - start;
+        if res.is_ok() {
+            counts.symbols += 1;
+        }
+        res
     }
 
     /// Walks the reference decode loop over the top `nbits` bits of

@@ -44,7 +44,7 @@ pub mod lut;
 pub use bitio::{BitReader, BitWriter};
 pub use code::{CodeBook, HuffmanError};
 pub use complexity::{decoder_transistors, DecoderComplexity};
-pub use decode::{CanonicalDecoder, DecodeError};
+pub use decode::{CanonicalDecoder, DecodeCounters, DecodeError};
 pub use dict::Dictionary;
 pub use lut::LutDecoder;
 

@@ -21,7 +21,7 @@
 
 use crate::bitio::BitReader;
 use crate::code::CodeBook;
-use crate::decode::{CanonicalDecoder, DecodeError, PrefixClass};
+use crate::decode::{CanonicalDecoder, DecodeCounters, DecodeError, PrefixClass};
 
 /// Default first-level table index width, in bits. 2^11 entries cover
 /// every code the byte scheme can emit (bound 10) and the popular head
@@ -123,6 +123,59 @@ impl LutDecoder {
         self.decode_slow(r)
     }
 
+    /// [`LutDecoder::decode`] with decode-effort telemetry folded into
+    /// `counts` (see [`DecodeCounters`]). Behaviour — symbols, cursor
+    /// positions and errors — is identical.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`LutDecoder::decode`] produces; the failing
+    /// prefix's bits are still charged to `counts.stall_bits`.
+    #[inline]
+    pub fn decode_counted(
+        &self,
+        r: &mut BitReader<'_>,
+        counts: &mut DecodeCounters,
+    ) -> Result<u32, DecodeError> {
+        if r.available() < self.lut_bits {
+            r.refill();
+        }
+        if r.available() >= self.lut_bits {
+            match self.table[r.peek(self.lut_bits) as usize] {
+                Entry::Sym { sym, len } => {
+                    r.consume(len as u32);
+                    counts.symbols += 1;
+                    counts.stall_bits += len as u64;
+                    return Ok(sym);
+                }
+                Entry::Invalid { depth } => {
+                    r.consume(depth as u32);
+                    counts.stall_bits += depth as u64;
+                    return Err(DecodeError::InvalidCode {
+                        at_bit: r.bit_pos(),
+                    });
+                }
+                Entry::Overflow { depth } => {
+                    r.consume(depth as u32);
+                    counts.stall_bits += depth as u64;
+                    return Err(DecodeError::LengthOverflow {
+                        at_bit: r.bit_pos(),
+                    });
+                }
+                // Only a genuine table overflow counts as a fallback;
+                // the short-stream path below never consulted the table.
+                Entry::Long => counts.long_fallbacks += 1,
+            }
+        }
+        let start = r.bit_pos();
+        let res = self.decode_slow(r);
+        counts.stall_bits += r.bit_pos() - start;
+        if res.is_ok() {
+            counts.symbols += 1;
+        }
+        res
+    }
+
     /// The overflow path: codes longer than the table index, and
     /// streams with fewer than `lut_bits` bits left (where the
     /// reference's per-bit consumption pins the exact EOS position).
@@ -139,36 +192,80 @@ impl LutDecoder {
     /// symbols per refill at typical code lengths) — the throughput
     /// path the scheme codecs decode whole blocks with.
     pub fn decode_n(&self, r: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>, DecodeError> {
+        self.decode_n_counted(r, n, &mut DecodeCounters::default())
+    }
+
+    /// [`LutDecoder::decode_n`] with decode-effort telemetry: bits
+    /// consumed (= modelled stall cycles), symbols decoded, and how many
+    /// codewords overflowed the table into the bit-serial walk. The
+    /// counters are plain `u64`s folded into `counts`; `decode_n` passes
+    /// a throwaway instance, so the uncounted path pays nothing.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors `n` calls of [`LutDecoder::decode`] would
+    /// produce; the failing prefix's bits are still charged to
+    /// `counts.stall_bits`.
+    pub fn decode_n_counted(
+        &self,
+        r: &mut BitReader<'_>,
+        n: usize,
+        counts: &mut DecodeCounters,
+    ) -> Result<Vec<u32>, DecodeError> {
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
             r.refill();
             if r.available() < self.lut_bits {
                 // Refill tops up to ≥57 > `lut_bits` bits away from the
                 // buffer tail, so this is a genuinely short stream: the
-                // one-symbol path pins the exact EOS behavior.
-                out.push(self.decode(r)?);
+                // one-symbol path pins the exact EOS behavior. (Not a
+                // `Long` fallback — the table was never consulted.)
+                let start = r.bit_pos();
+                let res = self.decode(r);
+                counts.stall_bits += r.bit_pos() - start;
+                match res {
+                    Ok(sym) => {
+                        counts.symbols += 1;
+                        out.push(sym);
+                    }
+                    Err(e) => return Err(e),
+                }
                 continue;
             }
             while out.len() < n && r.available() >= self.lut_bits {
                 match self.table[r.peek(self.lut_bits) as usize] {
                     Entry::Sym { sym, len } => {
                         r.consume(len as u32);
+                        counts.symbols += 1;
+                        counts.stall_bits += len as u64;
                         out.push(sym);
                     }
                     Entry::Invalid { depth } => {
                         r.consume(depth as u32);
+                        counts.stall_bits += depth as u64;
                         return Err(DecodeError::InvalidCode {
                             at_bit: r.bit_pos(),
                         });
                     }
                     Entry::Overflow { depth } => {
                         r.consume(depth as u32);
+                        counts.stall_bits += depth as u64;
                         return Err(DecodeError::LengthOverflow {
                             at_bit: r.bit_pos(),
                         });
                     }
                     Entry::Long => {
-                        out.push(self.decode_slow(r)?);
+                        counts.long_fallbacks += 1;
+                        let start = r.bit_pos();
+                        let res = self.decode_slow(r);
+                        counts.stall_bits += r.bit_pos() - start;
+                        match res {
+                            Ok(sym) => {
+                                counts.symbols += 1;
+                                out.push(sym);
+                            }
+                            Err(e) => return Err(e),
+                        }
                     }
                 }
             }
@@ -343,6 +440,51 @@ mod tests {
             let mut c = BitReader::at_bit(&bytes, start);
             assert_eq!(lut.decode_n(&mut c, syms.len()).unwrap(), syms);
         }
+    }
+
+    #[test]
+    fn counted_decode_tallies_bits_symbols_and_fallbacks() {
+        // Exponential frequencies force codes past the table index, so
+        // the Long path is exercised.
+        let freqs: Vec<u64> = (0..30).map(|i| 1u64 << i).collect();
+        let book = CodeBook::from_freqs(&freqs).unwrap();
+        let lut = book.lut_decoder();
+        assert!(book.max_len() > lut.lut_bits() as u8);
+        let msg: Vec<u32> = (0..30).chain((0..30).rev()).collect();
+        let mut w = BitWriter::new();
+        let mut total_bits = 0u64;
+        let mut expect_long = 0u64;
+        for &s in &msg {
+            book.encode_into(s, &mut w);
+            total_bits += book.len_of(s) as u64;
+            if book.len_of(s) as u32 > lut.lut_bits() {
+                expect_long += 1;
+            }
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut c = DecodeCounters::default();
+        assert_eq!(
+            lut.decode_n_counted(&mut r, msg.len(), &mut c).unwrap(),
+            msg
+        );
+        assert_eq!(c.symbols, msg.len() as u64);
+        assert_eq!(c.stall_bits, total_bits, "every code bit is a stall bit");
+        // Long codes near the stream tail may resolve through the
+        // short-stream path instead of a table hit, so the fallback
+        // count is bounded by — and normally equal to — the long-code
+        // population.
+        assert!(c.long_fallbacks >= 1 && c.long_fallbacks <= expect_long);
+        // The reference decoder counts the same bits and symbols.
+        let mut r2 = BitReader::new(&bytes);
+        let mut c2 = DecodeCounters::default();
+        let reference = book.decoder();
+        for _ in 0..msg.len() {
+            reference.decode_counted(&mut r2, &mut c2).unwrap();
+        }
+        assert_eq!(c2.symbols, c.symbols);
+        assert_eq!(c2.stall_bits, c.stall_bits);
+        assert_eq!(c2.long_fallbacks, 0);
     }
 
     #[test]

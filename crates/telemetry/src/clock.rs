@@ -1,0 +1,97 @@
+//! The single monotonic clock source behind every stage timer.
+//!
+//! Production code uses [`MonotonicClock`] (a [`std::time::Instant`]
+//! anchor read once at construction); tests inject a [`FakeClock`] that
+//! advances by a fixed step per read, making wall-clock-derived metrics
+//! deterministic and assertable.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock. All engine stage timers read time
+/// through this trait, never [`Instant::now`] directly, so tests can
+/// substitute a deterministic source.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Nanoseconds since this clock's epoch; never decreases.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: nanoseconds since the clock was created.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// Creates the clock with its epoch at "now".
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// A deterministic test clock: every read advances the time by a fixed
+/// step, so code that brackets work with two reads observes exactly one
+/// step of "elapsed time" per bracket regardless of host speed.
+#[derive(Debug)]
+pub struct FakeClock {
+    now: AtomicU64,
+    step: u64,
+}
+
+impl FakeClock {
+    /// Creates a clock starting at 0 that advances `step_ns` per read.
+    pub fn with_step(step_ns: u64) -> FakeClock {
+        FakeClock {
+            now: AtomicU64::new(0),
+            step: step_ns,
+        }
+    }
+
+    /// Manually advances the clock (on top of the per-read step).
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_ns(&self) -> u64 {
+        self.now.fetch_add(self.step, Ordering::Relaxed) + self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_never_decreases() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_steps_per_read() {
+        let c = FakeClock::with_step(10);
+        assert_eq!(c.now_ns(), 10);
+        assert_eq!(c.now_ns(), 20);
+        c.advance(100);
+        assert_eq!(c.now_ns(), 130);
+    }
+}

@@ -1,0 +1,232 @@
+//! Exporters: Chrome trace-event JSON and flat metrics snapshots.
+//!
+//! [`chrome_trace_json`] renders a recorded event stream in the Chrome
+//! trace-event format (load the file in `chrome://tracing` or
+//! Perfetto): engine-stage spans become `ph:"X"` complete events on
+//! `tid` 1 with microsecond timestamps, fetch-pipeline events become
+//! `ph:"i"` instants on `tid` 2 with the *simulated cycle* as the
+//! timestamp — so the horizontal axis of the fetch track reads in
+//! cycles, which is what the paper's figures plot. A `metadata` object
+//! carries the run labels, the per-kind totals and the ring drop count,
+//! which is what the `--check` validation reconciles against.
+//!
+//! All JSON here is emitted by hand (stable field order, no
+//! dependencies) and proven well-formed by round-tripping through
+//! [`crate::json::parse_json`] in the tests and in the trace smoke
+//! gate.
+
+use crate::json::escape;
+use crate::registry::MetricsRegistry;
+use crate::trace::{EventCounts, FetchEventKind, TraceEvent};
+
+/// Labels and reconciliation data attached to an exported trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceMeta {
+    /// Workload name (e.g. `gcc`).
+    pub workload: String,
+    /// Compression scheme name (e.g. `stream`).
+    pub scheme: String,
+    /// Per-kind totals over the whole run (unaffected by ring drops).
+    pub counts: EventCounts,
+    /// Events the ring dropped; 0 means the `traceEvents` array is the
+    /// complete run and per-kind counts can be reconciled exactly.
+    pub dropped: u64,
+}
+
+fn push_span(out: &mut String, name: &str, detail: &str, start_ns: u64, dur_ns: u64) {
+    // Microsecond timestamps with nanosecond precision kept in the
+    // fractional digits, as the trace-event format expects.
+    out.push_str(&format!(
+        "{{\"name\":{},\"cat\":\"engine\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\
+         \"pid\":1,\"tid\":1,\"args\":{{\"detail\":{}}}}}",
+        escape(name),
+        start_ns / 1000,
+        start_ns % 1000,
+        dur_ns / 1000,
+        dur_ns % 1000,
+        escape(detail),
+    ));
+}
+
+fn push_fetch(out: &mut String, seq: u64, cycle: u64, block: u32, kind: &FetchEventKind) {
+    let mut args = format!("\"seq\":{seq},\"block\":{block}");
+    match kind {
+        FetchEventKind::CacheHit { bank } => args.push_str(&format!(",\"bank\":{bank}")),
+        FetchEventKind::CacheMiss { bank, lines } => {
+            args.push_str(&format!(",\"bank\":{bank},\"lines\":{lines}"))
+        }
+        FetchEventKind::AtbMiss { penalty } => args.push_str(&format!(",\"penalty\":{penalty}")),
+        FetchEventKind::L0Fill { ops } => args.push_str(&format!(",\"ops\":{ops}")),
+        FetchEventKind::DecodeStall { cycles } => args.push_str(&format!(",\"cycles\":{cycles}")),
+        FetchEventKind::AtbHit
+        | FetchEventKind::PredCorrect
+        | FetchEventKind::PredWrong
+        | FetchEventKind::L0Hit
+        | FetchEventKind::IntegrityFault => {}
+    }
+    out.push_str(&format!(
+        "{{\"name\":{},\"cat\":\"fetch\",\"ph\":\"i\",\"ts\":{cycle},\"s\":\"t\",\
+         \"pid\":1,\"tid\":2,\"args\":{{{args}}}}}",
+        escape(kind.name()),
+    ));
+}
+
+fn counts_json(c: &EventCounts) -> String {
+    format!(
+        "{{\"cache_hit\":{},\"cache_miss\":{},\"atb_hit\":{},\"atb_miss\":{},\
+         \"pred_correct\":{},\"pred_wrong\":{},\"l0_hit\":{},\"l0_fill\":{},\
+         \"decode_stall\":{},\"integrity_fault\":{},\"spans\":{}}}",
+        c.cache_hits,
+        c.cache_misses,
+        c.atb_hits,
+        c.atb_misses,
+        c.pred_correct,
+        c.pred_wrong,
+        c.buffer_hits,
+        c.buffer_misses,
+        c.decode_stalls,
+        c.integrity_faults,
+        c.spans,
+    )
+}
+
+/// Renders `events` as a Chrome trace-event JSON document.
+pub fn chrome_trace_json(events: &[TraceEvent], meta: &TraceMeta) -> String {
+    let mut body = String::with_capacity(events.len() * 96 + 512);
+    for ev in events {
+        if !body.is_empty() {
+            body.push(',');
+        }
+        match ev {
+            TraceEvent::Span {
+                name,
+                detail,
+                start_ns,
+                dur_ns,
+            } => push_span(&mut body, name, detail, *start_ns, *dur_ns),
+            TraceEvent::Fetch {
+                seq,
+                cycle,
+                block,
+                kind,
+            } => push_fetch(&mut body, *seq, *cycle, *block, kind),
+        }
+    }
+    format!(
+        "{{\"traceEvents\":[{body}],\"displayTimeUnit\":\"ms\",\"metadata\":{{\
+         \"workload\":{},\"scheme\":{},\"dropped\":{},\"counts\":{}}}}}",
+        escape(&meta.workload),
+        escape(&meta.scheme),
+        meta.dropped,
+        counts_json(&meta.counts),
+    )
+}
+
+/// Renders a registry as a flat metrics snapshot document — the payload
+/// of `results/METRICS_<scheme>.json`.
+pub fn metrics_snapshot_json(registry: &MetricsRegistry, meta: &TraceMeta) -> String {
+    format!(
+        "{{\"workload\":{},\"scheme\":{},\"metrics\":{}}}",
+        escape(&meta.workload),
+        escape(&meta.scheme),
+        registry.to_json(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Span {
+                name: "compile",
+                detail: "gcc".into(),
+                start_ns: 1500,
+                dur_ns: 2001,
+            },
+            TraceEvent::Fetch {
+                seq: 0,
+                cycle: 7,
+                block: 3,
+                kind: FetchEventKind::CacheMiss { bank: 1, lines: 2 },
+            },
+            TraceEvent::Fetch {
+                seq: 1,
+                cycle: 9,
+                block: 4,
+                kind: FetchEventKind::L0Fill { ops: 12 },
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_and_is_structured() {
+        let mut counts = EventCounts::default();
+        for ev in sample_events() {
+            counts.add(&ev);
+        }
+        let meta = TraceMeta {
+            workload: "gcc".into(),
+            scheme: "stream".into(),
+            counts,
+            dropped: 0,
+        };
+        let text = chrome_trace_json(&sample_events(), &meta);
+        let v = parse_json(&text).unwrap();
+        let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(evs[0].get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(evs[0].get("dur").unwrap().as_f64(), Some(2.001));
+        assert_eq!(evs[1].get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(evs[1].get("ts").unwrap().as_f64(), Some(7.0));
+        assert_eq!(
+            evs[1].get("args").unwrap().get("lines").unwrap().as_f64(),
+            Some(2.0)
+        );
+        let md = v.get("metadata").unwrap();
+        assert_eq!(md.get("scheme").unwrap().as_str(), Some("stream"));
+        assert_eq!(md.get("dropped").unwrap().as_f64(), Some(0.0));
+        let c = md.get("counts").unwrap();
+        assert_eq!(c.get("cache_miss").unwrap().as_f64(), Some(1.0));
+        assert_eq!(c.get("l0_fill").unwrap().as_f64(), Some(1.0));
+        assert_eq!(c.get("spans").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let meta = TraceMeta::default();
+        let v = parse_json(&chrome_trace_json(&[], &meta)).unwrap();
+        assert_eq!(v.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trips() {
+        let reg = MetricsRegistry::new();
+        reg.counter("fetch.cache_hits").add(41);
+        reg.histogram("decode.stall_bits", &[8, 64]).observe(12);
+        let meta = TraceMeta {
+            workload: "li".into(),
+            scheme: "byte".into(),
+            ..TraceMeta::default()
+        };
+        let v = parse_json(&metrics_snapshot_json(&reg, &meta)).unwrap();
+        assert_eq!(v.get("workload").unwrap().as_str(), Some("li"));
+        let m = v.get("metrics").unwrap();
+        assert_eq!(
+            m.get("counters")
+                .unwrap()
+                .get("fetch.cache_hits")
+                .unwrap()
+                .as_f64(),
+            Some(41.0)
+        );
+        assert!(m
+            .get("histograms")
+            .unwrap()
+            .get("decode.stall_bits")
+            .is_some());
+    }
+}

@@ -1,0 +1,43 @@
+//! # ccc-telemetry — the unified telemetry layer
+//!
+//! Zero-dependency observability for the compile→encode→fetch pipeline:
+//!
+//! * [`registry`] — a [`MetricsRegistry`] of named counters, gauges and
+//!   fixed-bucket histograms with cheap atomic updates and a stable,
+//!   sorted text/JSON dump;
+//! * [`trace`] — the [`TraceSink`] abstraction with a ring-buffered
+//!   structured event recorder ([`RingSink`]), a thread-shareable
+//!   wrapper ([`SharedSink`]) and a [`NoopSink`] that costs nothing on
+//!   the hot path;
+//! * [`export`] — exporters to Chrome trace-event JSON (loadable in
+//!   `chrome://tracing` / Perfetto) and a flat metrics snapshot;
+//! * [`clock`] — the [`Clock`] trait behind every stage timer, with a
+//!   monotonic production implementation and a deterministic
+//!   [`FakeClock`] for tests;
+//! * [`json`] — a minimal JSON value model and parser, used to validate
+//!   that exported traces round-trip.
+//!
+//! ## Overhead policy
+//!
+//! Instrumented code paths take an `Option`al sink (or a sink whose
+//! no-op variant is a unit struct), so the disabled configuration
+//! executes the exact pre-telemetry instruction stream: results are
+//! byte-identical and the hot loops pay nothing. When enabled, events
+//! are recorded into a fixed-capacity ring (old events drop, never the
+//! run) and per-kind counts are kept *outside* the ring so the post-run
+//! reconciliation against the simulator's own counters stays exact even
+//! after drops. See DESIGN.md §12.
+
+pub mod clock;
+pub mod export;
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use clock::{Clock, FakeClock, MonotonicClock};
+pub use export::{chrome_trace_json, metrics_snapshot_json, TraceMeta};
+pub use json::{parse_json, JsonError, JsonValue};
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use trace::{
+    EventCounts, FetchEventKind, NoopSink, RingSink, SharedSink, TraceEvent, TraceSink,
+};

@@ -1,0 +1,363 @@
+//! The metrics registry: named counters, gauges and fixed-bucket
+//! histograms.
+//!
+//! Handles are `Arc`-shared and updated with relaxed atomics, so
+//! instrumented code pays one uncontended atomic add per update and
+//! never takes the registry lock. The registry itself is only locked to
+//! create or enumerate metrics; dumps are stable (names sort
+//! lexicographically) so snapshots diff cleanly across runs.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// `bounds` are inclusive upper edges; a sample lands in the first
+/// bucket whose bound is `>= sample`, or in the implicit overflow
+/// bucket past the last bound. The bucket counts always sum to the
+/// total observation count (the invariant the telemetry proptests pin).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        let mut b = bounds.to_vec();
+        b.sort_unstable();
+        b.dedup();
+        let buckets = (0..=b.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: b,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&self, sample: u64) {
+        let idx = self.bounds.partition_point(|&b| b < sample);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(sample, Ordering::Relaxed);
+    }
+
+    /// Inclusive upper bucket edges.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds().len() + 1` entries, overflow last).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total samples observed.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A registry of named metrics. Cloneable handles come out; the
+/// registry keeps the authoritative sorted map for dumps.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().unwrap();
+        let metric = m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())));
+        match metric {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().unwrap();
+        let metric = m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())));
+        match metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// The histogram named `name` with the given inclusive upper bucket
+    /// edges, created on first use (later calls ignore `bounds`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap();
+        let metric = m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))));
+        match metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.lock().unwrap().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A stable, sorted, human-readable dump — one metric per line.
+    pub fn dump_text(&self) -> String {
+        let m = self.metrics.lock().unwrap();
+        let mut out = String::new();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} = {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{name} = {}\n", g.get())),
+                Metric::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{name} = count {} sum {} buckets {:?}@{:?}\n",
+                        h.count(),
+                        h.sum(),
+                        h.bucket_counts(),
+                        h.bounds(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// A stable JSON object: `{"counters":{..},"gauges":{..},
+    /// "histograms":{..}}`, names sorted within each section.
+    pub fn to_json(&self) -> String {
+        let m = self.metrics.lock().unwrap();
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut histograms = String::new();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    if !counters.is_empty() {
+                        counters.push(',');
+                    }
+                    counters.push_str(&format!("{}:{}", json::escape(name), c.get()));
+                }
+                Metric::Gauge(g) => {
+                    if !gauges.is_empty() {
+                        gauges.push(',');
+                    }
+                    gauges.push_str(&format!("{}:{}", json::escape(name), g.get()));
+                }
+                Metric::Histogram(h) => {
+                    if !histograms.is_empty() {
+                        histograms.push(',');
+                    }
+                    let bounds: Vec<String> = h.bounds().iter().map(u64::to_string).collect();
+                    let counts: Vec<String> =
+                        h.bucket_counts().iter().map(u64::to_string).collect();
+                    histograms.push_str(&format!(
+                        "{}:{{\"bounds\":[{}],\"counts\":[{}],\"count\":{},\"sum\":{}}}",
+                        json::escape(name),
+                        bounds.join(","),
+                        counts.join(","),
+                        h.count(),
+                        h.sum()
+                    ));
+                }
+            }
+        }
+        format!("{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}")
+    }
+
+    /// Every counter as `(name, value)`, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let m = self.metrics.lock().unwrap();
+        m.iter()
+            .filter_map(|(n, metric)| match metric {
+                Metric::Counter(c) => Some((n.clone(), c.get())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_histogram_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.hits").add(3);
+        reg.counter("a.hits").inc();
+        reg.gauge("a.jobs").set(8);
+        reg.gauge("a.jobs").add(-2);
+        let h = reg.histogram("a.lat", &[1, 4, 16]);
+        for v in [0, 1, 2, 5, 100] {
+            h.observe(v);
+        }
+        assert_eq!(reg.counter("a.hits").get(), 4);
+        assert_eq!(reg.gauge("a.jobs").get(), 6);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 108);
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 1]);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn dump_is_sorted_and_stable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").inc();
+        reg.histogram("m.mid", &[10]);
+        let d1 = reg.dump_text();
+        let d2 = reg.dump_text();
+        assert_eq!(d1, d2);
+        let a = d1.find("a.first").unwrap();
+        let m = d1.find("m.mid").unwrap();
+        let z = d1.find("z.last").unwrap();
+        assert!(a < m && m < z, "sorted: {d1}");
+    }
+
+    #[test]
+    fn json_dump_parses_back() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c\"quoted").add(7);
+        reg.gauge("g").set(-5);
+        reg.histogram("h", &[2, 8]).observe(3);
+        let v = crate::json::parse_json(&reg.to_json()).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("c\"quoted")
+                .unwrap()
+                .as_f64(),
+            Some(7.0)
+        );
+        assert_eq!(
+            v.get("gauges").unwrap().get("g").unwrap().as_f64(),
+            Some(-5.0)
+        );
+        let h = v.get("histograms").unwrap().get("h").unwrap();
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn histogram_bounds_are_sorted_and_deduped() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h", &[8, 2, 2, 4]);
+        assert_eq!(h.bounds(), &[2, 4, 8]);
+        assert_eq!(h.bucket_counts().len(), 4);
+    }
+}

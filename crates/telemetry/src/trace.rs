@@ -1,0 +1,375 @@
+//! Structured event tracing: the [`TraceSink`] trait, the ring-buffered
+//! recorder and the shareable wrapper the parallel engine writes
+//! through.
+//!
+//! Events come in two shapes: instantaneous fetch-pipeline events
+//! ([`TraceEvent::Fetch`], stamped with the simulated cycle) and
+//! engine-stage spans ([`TraceEvent::Span`], stamped with wall-clock
+//! nanoseconds). The ring keeps the most recent `capacity` events and
+//! counts what it drops; per-kind totals are tallied on every record —
+//! dropped or not — so reconciliation against the simulator's own
+//! counters ([`EventCounts`]) is exact regardless of ring pressure.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// What happened at one fetch-pipeline step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchEventKind {
+    /// All of the block's lines were resident in the ICache bank.
+    CacheHit {
+        /// Bank holding the block's first line (lines interleave across
+        /// the two banks of the paper's Figure-8 design).
+        bank: u8,
+    },
+    /// At least one line missed; the block was brought in atomically.
+    CacheMiss {
+        /// Bank of the block's first line.
+        bank: u8,
+        /// Lines the block spans (the miss-penalty multiplier).
+        lines: u32,
+    },
+    /// The ATB held the block's translation entry.
+    AtbHit,
+    /// The entry had to be pulled from the in-memory ATT.
+    AtbMiss {
+        /// Extra cycles charged (translated encodings only).
+        penalty: u32,
+    },
+    /// The previous block's predictor named this block.
+    PredCorrect,
+    /// The previous block's predictor named some other block.
+    PredWrong,
+    /// The decompressed block was already in the L0 buffer.
+    L0Hit,
+    /// L0 miss: the decompressor refills the buffer with this block.
+    L0Fill {
+        /// Operations decoded into the buffer.
+        ops: u32,
+    },
+    /// Cycles the pipeline stalled on this block's fetch+decode (the
+    /// Table-1 penalty actually charged on an L0 miss).
+    DecodeStall {
+        /// Stall cycles.
+        cycles: u32,
+    },
+    /// An integrity check (ATT entry CRC-8 or payload parity) failed.
+    IntegrityFault,
+}
+
+impl FetchEventKind {
+    /// Short stable name (Chrome-trace event name, metrics key suffix).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FetchEventKind::CacheHit { .. } => "cache_hit",
+            FetchEventKind::CacheMiss { .. } => "cache_miss",
+            FetchEventKind::AtbHit => "atb_hit",
+            FetchEventKind::AtbMiss { .. } => "atb_miss",
+            FetchEventKind::PredCorrect => "pred_correct",
+            FetchEventKind::PredWrong => "pred_wrong",
+            FetchEventKind::L0Hit => "l0_hit",
+            FetchEventKind::L0Fill { .. } => "l0_fill",
+            FetchEventKind::DecodeStall { .. } => "decode_stall",
+            FetchEventKind::IntegrityFault => "integrity_fault",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// An instantaneous fetch-pipeline event.
+    Fetch {
+        /// Index of the block transition that raised it.
+        seq: u64,
+        /// Simulated cycle at the time of the event.
+        cycle: u64,
+        /// Block id.
+        block: u32,
+        /// What happened.
+        kind: FetchEventKind,
+    },
+    /// A timed pipeline-stage span (compile/emulate/encode/cache-probe/
+    /// simulate).
+    Span {
+        /// Stage name.
+        name: &'static str,
+        /// What was being processed (workload, artifact label).
+        detail: String,
+        /// Start, in [`crate::Clock`] nanoseconds.
+        start_ns: u64,
+        /// Duration in nanoseconds.
+        dur_ns: u64,
+    },
+}
+
+/// Per-kind event totals, tallied on record (never affected by ring
+/// drops). Field names mirror the simulator's `FetchResult` counters so
+/// the reconciliation check is a field-by-field comparison.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// `cache_hit` events.
+    pub cache_hits: u64,
+    /// `cache_miss` events.
+    pub cache_misses: u64,
+    /// `atb_hit` events.
+    pub atb_hits: u64,
+    /// `atb_miss` events.
+    pub atb_misses: u64,
+    /// `pred_correct` events.
+    pub pred_correct: u64,
+    /// `pred_wrong` events.
+    pub pred_wrong: u64,
+    /// `l0_hit` events.
+    pub buffer_hits: u64,
+    /// `l0_fill` events.
+    pub buffer_misses: u64,
+    /// `decode_stall` events.
+    pub decode_stalls: u64,
+    /// `integrity_fault` events.
+    pub integrity_faults: u64,
+    /// `Span` events.
+    pub spans: u64,
+}
+
+impl EventCounts {
+    /// Tallies one event.
+    pub fn add(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Span { .. } => self.spans += 1,
+            TraceEvent::Fetch { kind, .. } => match kind {
+                FetchEventKind::CacheHit { .. } => self.cache_hits += 1,
+                FetchEventKind::CacheMiss { .. } => self.cache_misses += 1,
+                FetchEventKind::AtbHit => self.atb_hits += 1,
+                FetchEventKind::AtbMiss { .. } => self.atb_misses += 1,
+                FetchEventKind::PredCorrect => self.pred_correct += 1,
+                FetchEventKind::PredWrong => self.pred_wrong += 1,
+                FetchEventKind::L0Hit => self.buffer_hits += 1,
+                FetchEventKind::L0Fill { .. } => self.buffer_misses += 1,
+                FetchEventKind::DecodeStall { .. } => self.decode_stalls += 1,
+                FetchEventKind::IntegrityFault => self.integrity_faults += 1,
+            },
+        }
+    }
+
+    /// Total events tallied.
+    pub fn total(&self) -> u64 {
+        self.cache_hits
+            + self.cache_misses
+            + self.atb_hits
+            + self.atb_misses
+            + self.pred_correct
+            + self.pred_wrong
+            + self.buffer_hits
+            + self.buffer_misses
+            + self.decode_stalls
+            + self.integrity_faults
+            + self.spans
+    }
+}
+
+/// Where instrumented code sends events. Implementations must be cheap:
+/// the fetch engine calls [`TraceSink::record`] inside its per-block
+/// loop when tracing is on.
+pub trait TraceSink {
+    /// Records one event.
+    fn record(&mut self, ev: TraceEvent);
+}
+
+/// The disabled sink: a unit struct whose `record` is empty, so the
+/// traced code path with a `NoopSink` optimizes down to the event
+/// constructions the optimizer can discard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    #[inline(always)]
+    fn record(&mut self, _ev: TraceEvent) {}
+}
+
+/// Default ring capacity: ~1M events, a few tens of MB, enough for every
+/// suite workload without drops.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 20;
+
+/// A fixed-capacity ring of events. When full, the *oldest* events are
+/// dropped (the tail of a run is usually what an investigation needs)
+/// and counted; per-kind totals are unaffected by drops.
+#[derive(Debug, Clone, Default)]
+pub struct RingSink {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+    counts: EventCounts,
+}
+
+impl RingSink {
+    /// Creates a ring holding up to `capacity` events (min 1).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            buf: VecDeque::new(),
+            dropped: 0,
+            counts: EventCounts::default(),
+        }
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Per-kind totals over every `record` call (drops included).
+    pub fn counts(&self) -> EventCounts {
+        self.counts
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Removes and returns all held events, oldest first. Totals and
+    /// the drop count are kept.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: TraceEvent) {
+        self.counts.add(&ev);
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+}
+
+/// A cloneable, thread-safe handle over a [`RingSink`], for writers on
+/// multiple threads (the engine's worker pool) feeding one trace.
+#[derive(Debug, Clone)]
+pub struct SharedSink {
+    inner: Arc<Mutex<RingSink>>,
+}
+
+impl SharedSink {
+    /// Creates a shared ring of `capacity` events.
+    pub fn new(capacity: usize) -> SharedSink {
+        SharedSink {
+            inner: Arc::new(Mutex::new(RingSink::new(capacity))),
+        }
+    }
+
+    /// Records one event (usable through `&self`, unlike the trait).
+    pub fn record(&self, ev: TraceEvent) {
+        self.inner.lock().unwrap().record(ev);
+    }
+
+    /// Removes and returns all held events, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.inner.lock().unwrap().drain()
+    }
+
+    /// Per-kind totals over every record (drops included).
+    pub fn counts(&self) -> EventCounts {
+        self.inner.lock().unwrap().counts()
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped()
+    }
+}
+
+impl TraceSink for SharedSink {
+    fn record(&mut self, ev: TraceEvent) {
+        SharedSink::record(self, ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fetch_ev(seq: u64, kind: FetchEventKind) -> TraceEvent {
+        TraceEvent::Fetch {
+            seq,
+            cycle: seq * 2,
+            block: seq as u32,
+            kind,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_but_counts_everything() {
+        let mut r = RingSink::new(2);
+        r.record(fetch_ev(0, FetchEventKind::AtbHit));
+        r.record(fetch_ev(1, FetchEventKind::AtbHit));
+        r.record(fetch_ev(2, FetchEventKind::AtbMiss { penalty: 2 }));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.counts().atb_hits, 2, "totals include dropped events");
+        assert_eq!(r.counts().atb_misses, 1);
+        let evs = r.drain();
+        assert!(matches!(evs[0], TraceEvent::Fetch { seq: 1, .. }));
+        assert!(r.is_empty());
+        assert_eq!(r.counts().total(), 3, "drain keeps totals");
+    }
+
+    #[test]
+    fn event_counts_cover_every_kind() {
+        let kinds = [
+            FetchEventKind::CacheHit { bank: 0 },
+            FetchEventKind::CacheMiss { bank: 1, lines: 3 },
+            FetchEventKind::AtbHit,
+            FetchEventKind::AtbMiss { penalty: 2 },
+            FetchEventKind::PredCorrect,
+            FetchEventKind::PredWrong,
+            FetchEventKind::L0Hit,
+            FetchEventKind::L0Fill { ops: 8 },
+            FetchEventKind::DecodeStall { cycles: 11 },
+            FetchEventKind::IntegrityFault,
+        ];
+        let mut c = EventCounts::default();
+        for (i, k) in kinds.iter().enumerate() {
+            c.add(&fetch_ev(i as u64, *k));
+        }
+        c.add(&TraceEvent::Span {
+            name: "compile",
+            detail: "w".into(),
+            start_ns: 0,
+            dur_ns: 1,
+        });
+        assert_eq!(c.total(), kinds.len() as u64 + 1);
+        assert_eq!(c.cache_hits, 1);
+        assert_eq!(c.spans, 1);
+    }
+
+    #[test]
+    fn shared_sink_is_cloneable_and_aggregates() {
+        let s = SharedSink::new(16);
+        let s2 = s.clone();
+        s.record(fetch_ev(0, FetchEventKind::PredCorrect));
+        s2.record(fetch_ev(1, FetchEventKind::PredWrong));
+        assert_eq!(s.counts().pred_correct, 1);
+        assert_eq!(s.counts().pred_wrong, 1);
+        assert_eq!(s.drain().len(), 2);
+    }
+
+    #[test]
+    fn noop_sink_records_nothing() {
+        let mut n = NoopSink;
+        n.record(fetch_ev(0, FetchEventKind::AtbHit));
+    }
+}

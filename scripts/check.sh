@@ -23,6 +23,18 @@ rm -rf "$CCC_SMOKE_DIR"
 rm -rf "$CCC_SMOKE_DIR"
 echo "warm rerun fully cache-served"
 
+echo "==> trace/metrics reconciliation smoke"
+# CCC_TRACE_SMOKE=1 implies --check: the emitted Chrome trace must be
+# well-formed JSON with at least one span per pipeline stage, zero
+# dropped events, and per-kind event totals that reconcile exactly with
+# the metrics snapshot (results/METRICS_full.json).
+CCC_TRACE_DIR="${TMPDIR:-/tmp}/ccc-trace-smoke-$$"
+mkdir -p "$CCC_TRACE_DIR"
+CCC_TRACE_SMOKE=1 ./target/release/tepic-cc trace --workload li --scheme full \
+    --out "$CCC_TRACE_DIR/trace.json" >/dev/null
+rm -rf "$CCC_TRACE_DIR"
+echo "trace reconciles with metrics snapshot"
+
 echo "==> decode throughput smoke"
 # Short measurement; exits non-zero if the LUT decode path regresses
 # below the bit-serial reference on the byte scheme. Also refreshes

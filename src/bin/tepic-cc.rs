@@ -9,6 +9,7 @@
 //! tepic-cc stats <file.tink>          static + dynamic statistics
 //! tepic-cc faultsim <file.tink>       fault-injection campaign over all schemes
 //! tepic-cc bench [options]            the whole figure suite in one invocation
+//! tepic-cc trace [options]            Chrome-trace + metrics snapshot of one run
 //! ```
 //!
 //! With `-` as the file, source is read from stdin. `--no-opt` disables
@@ -30,6 +31,20 @@
 //! --all             every figure, table and extension experiment
 //! --assert-warm     fail unless the run was served entirely from cache
 //! ```
+//!
+//! `trace` options (DESIGN.md §12):
+//!
+//! ```text
+//! --workload <w>    a built-in workload name (required)
+//! --scheme <s>      base|tailored|byte|stream|stream_1|full (default full)
+//! --out <file>      Chrome trace-event JSON destination (default trace.json)
+//! --check           validate the emitted trace against the metrics snapshot
+//! ```
+//!
+//! `trace` always runs a cold (uncached) pipeline so the compile,
+//! emulate and encode spans appear in the trace; the metrics snapshot
+//! lands in `results/METRICS_<scheme>.json`. `CCC_TRACE_SMOKE=1` in the
+//! environment implies `--check`.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -45,7 +60,8 @@ fn usage() -> ExitCode {
         "usage: tepic-cc <run|disasm|report|verilog|sim|stats|faultsim> <file.tink|-> \
          [--no-opt] [--seed <u64>]\n\
          \x20      tepic-cc bench [--jobs <N>] [--no-cache] [--cache-dir <dir>] \
-         [--figures <a,b,..>] [--all] [--assert-warm]"
+         [--figures <a,b,..>] [--all] [--assert-warm]\n\
+         \x20      tepic-cc trace --workload <name> [--scheme <s>] [--out <file>] [--check]"
     );
     ExitCode::from(2)
 }
@@ -54,6 +70,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench") {
         return bench_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        return trace_cmd(&args[1..]);
     }
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) => (c.as_str(), f.as_str()),
@@ -180,7 +199,15 @@ fn main() -> ExitCode {
                 seed,
                 ..CampaignConfig::default()
             };
-            print!("{}", run_campaign(&program, &cfg).render());
+            let report = run_campaign(&program, &cfg);
+            print!("{}", report.render());
+            // Per-site outcomes also flow through the shared metrics
+            // registry — the same reporting path bench and trace use.
+            let registry = MetricsRegistry::new();
+            report.record_metrics(&registry);
+            println!();
+            println!("metrics ({} series):", registry.len());
+            print!("{}", registry.dump_text());
             ExitCode::SUCCESS
         }
         "stats" => {
@@ -201,9 +228,33 @@ fn main() -> ExitCode {
                     println!("dyn blocks  : {}", stats.blocks);
                     println!("MOP density : {:.2}", stats.avg_mop_density());
                     println!("taken frac  : {:.2}", stats.taken_fraction);
+                    let counts = trace.block_counts(program.num_blocks());
+                    let mut hot: Vec<(usize, u64)> = counts
+                        .iter()
+                        .copied()
+                        .enumerate()
+                        .filter(|&(_, c)| c > 0)
+                        .collect();
+                    hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                    let top = 8.min(hot.len());
+                    println!("hottest blocks (top {top} of {} executed):", hot.len());
+                    for &(b, execs) in hot.iter().take(top) {
+                        let ops = program.block_ops(b).len() as u64;
+                        println!(
+                            "  block {b:>4}: {execs:>10} execs x {ops:>2} ops = {:>12} dyn ops",
+                            execs * ops
+                        );
+                    }
                 }
                 Err(e) => println!("dyn         : <runtime error: {e}>"),
             }
+            let snap = engine.snapshot();
+            let ms = |ns: u64| ns as f64 / 1e6;
+            println!(
+                "stage time  : compile {:.1} ms, emulate {:.1} ms (cold work this run)",
+                ms(snap.compile_ns),
+                ms(snap.emulate_ns),
+            );
             ExitCode::SUCCESS
         }
         _ => usage(),
@@ -374,6 +425,53 @@ fn bench_cmd(args: &[String]) -> ExitCode {
         engine.jobs()
     );
 
+    // Decode-effort panel: the real decompressor over every workload's
+    // fully-compressed image, printed alongside the cache stats so one
+    // invocation shows both where time went and what decoding cost.
+    println!("==================== decode ====================");
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>9} {:>7}",
+        "workload", "blocks", "ops", "stall-bits", "LUT-long", "errors"
+    );
+    let mut tot = DecodeStats::default();
+    for p in &prepared {
+        match schemes::full::FullScheme::default().compress(&p.program) {
+            Ok(out) => {
+                let (_, ds) = simulate_decoded(
+                    &p.program,
+                    &p.compressed_img,
+                    &p.trace,
+                    &FetchConfig::compressed(),
+                    out.codec.as_ref(),
+                );
+                println!(
+                    "{:<10} {:>8} {:>10} {:>12} {:>9} {:>7}",
+                    p.workload.name,
+                    ds.blocks_decoded,
+                    ds.ops_decoded,
+                    ds.stall_bits,
+                    ds.long_fallbacks,
+                    ds.decode_errors
+                );
+                tot.blocks_decoded += ds.blocks_decoded;
+                tot.ops_decoded += ds.ops_decoded;
+                tot.decode_errors += ds.decode_errors;
+                tot.long_fallbacks += ds.long_fallbacks;
+                tot.stall_bits += ds.stall_bits;
+            }
+            Err(e) => println!("{:<10} <compress failed: {e}>", p.workload.name),
+        }
+    }
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>9} {:>7}",
+        "total",
+        tot.blocks_decoded,
+        tot.ops_decoded,
+        tot.stall_bits,
+        tot.long_fallbacks,
+        tot.decode_errors
+    );
+
     if assert_warm {
         let expected_images =
             (prepared.len() * tepic_ccc::bench::engine::MATRIX_SCHEMES.len()) as u64;
@@ -389,4 +487,270 @@ fn bench_cmd(args: &[String]) -> ExitCode {
         println!("  warm-cache assertion held: 0 misses, {expected_images} image hits.");
     }
     ExitCode::SUCCESS
+}
+
+fn trace_cmd(args: &[String]) -> ExitCode {
+    use tepic_ccc::telemetry::{
+        chrome_trace_json, metrics_snapshot_json, Clock, MonotonicClock, TraceEvent, TraceMeta,
+    };
+
+    let mut workload: Option<String> = None;
+    let mut scheme = "full".to_string();
+    let mut out_path = "trace.json".to_string();
+    let mut check = std::env::var("CCC_TRACE_SMOKE").is_ok_and(|v| v == "1");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workload" => match it.next() {
+                Some(w) => workload = Some(w.clone()),
+                None => {
+                    eprintln!("tepic-cc trace: --workload needs a name");
+                    return ExitCode::from(2);
+                }
+            },
+            "--scheme" => match it.next() {
+                Some(s) => scheme = s.clone(),
+                None => {
+                    eprintln!("tepic-cc trace: --scheme needs a name");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("tepic-cc trace: --out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check" => check = true,
+            other => {
+                eprintln!("tepic-cc trace: unknown option {other}");
+                return usage();
+            }
+        }
+    }
+    let known = || {
+        workloads::ALL
+            .iter()
+            .map(|w| w.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let Some(workload) = workload else {
+        eprintln!("tepic-cc trace: --workload is required; known: {}", known());
+        return ExitCode::from(2);
+    };
+    let Some(w) = workloads::by_name(&workload) else {
+        eprintln!(
+            "tepic-cc trace: unknown workload {workload}; known: {}",
+            known()
+        );
+        return ExitCode::from(2);
+    };
+    if tepic_ccc::bench::engine::scheme_by_name(&scheme).is_none() {
+        eprintln!("tepic-cc trace: unknown scheme {scheme}");
+        return ExitCode::from(2);
+    }
+
+    // Always a cold engine: the compile/emulate/encode spans only exist
+    // when the stages actually run, and a warm cache would skip them.
+    let sink = SharedSink::new(1 << 20);
+    let engine =
+        Engine::uncached(tepic_ccc::bench::engine::default_jobs()).with_trace_sink(sink.clone());
+    let opts = lego::Options::default();
+    let program = match engine.program(w.name, w.source(), &opts) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("tepic-cc trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let btrace = match engine.trace(w.name, w.source(), &opts, &program) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tepic-cc trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let image = match engine.image(w.name, w.source(), &opts, &scheme, &program) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("tepic-cc trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Base and Tailored fetch uncompressed/re-laid-out code — no serial
+    // decoder on their hit path; everything else decompresses for real.
+    let (cfg, codec) = match scheme.as_str() {
+        "base" => (FetchConfig::base(), None),
+        "tailored" => (FetchConfig::tailored(), None),
+        _ => {
+            let out = match tepic_ccc::bench::engine::scheme_by_name(&scheme)
+                .expect("validated above")
+                .compress(&program)
+            {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("tepic-cc trace: {scheme}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            (FetchConfig::compressed(), Some(out.codec))
+        }
+    };
+
+    let clock = MonotonicClock::new();
+    let mut fetch_sink = sink.clone();
+    let sim_start = clock.now_ns();
+    let (result, dstats) = match &codec {
+        Some(c) => {
+            simulate_decoded_traced(&program, &image, &btrace, &cfg, c.as_ref(), &mut fetch_sink)
+        }
+        None => (
+            simulate_traced(&program, &image, &btrace, &cfg, &mut fetch_sink),
+            DecodeStats::default(),
+        ),
+    };
+    sink.record(TraceEvent::Span {
+        name: "simulate",
+        detail: format!("{}/{}", w.name, scheme),
+        start_ns: sim_start,
+        dur_ns: clock.now_ns().saturating_sub(sim_start),
+    });
+
+    let registry = MetricsRegistry::new();
+    result.record_metrics(&registry);
+    dstats.record_metrics(&registry);
+    engine.snapshot().record_metrics(&registry);
+
+    let meta = TraceMeta {
+        workload: w.name.to_string(),
+        scheme: scheme.clone(),
+        counts: sink.counts(),
+        dropped: sink.dropped(),
+    };
+    let events = sink.drain();
+    let trace_json = chrome_trace_json(&events, &meta);
+    let metrics_json = metrics_snapshot_json(&registry, &meta);
+    if let Err(e) = std::fs::write(&out_path, &trace_json) {
+        eprintln!("tepic-cc trace: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let metrics_path = format!("results/METRICS_{scheme}.json");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(&metrics_path, &metrics_json))
+    {
+        eprintln!("tepic-cc trace: cannot write {metrics_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "trace: {} events ({} spans, {} dropped) -> {out_path}",
+        events.len(),
+        meta.counts.spans,
+        meta.dropped
+    );
+    println!("metrics: {} series -> {metrics_path}", registry.len());
+    println!(
+        "fetch: IPC {:.3}, pred {:.1}%, I$ hit {:.1}%; decode: {} blocks, {} stall bits, {} LUT fallbacks",
+        result.ipc(),
+        result.pred_accuracy() * 100.0,
+        result.cache_hit_rate() * 100.0,
+        dstats.blocks_decoded,
+        dstats.stall_bits,
+        dstats.long_fallbacks
+    );
+    if check {
+        match validate_trace(&trace_json, &metrics_json) {
+            Ok(()) => println!("check: trace/metrics reconciliation held"),
+            Err(e) => {
+                eprintln!("tepic-cc trace: check failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Cross-checks an emitted Chrome trace against its metrics snapshot:
+/// both parse, every pipeline stage has a span, nothing was dropped,
+/// and the per-kind event totals agree with the `fetch.*` counters —
+/// the CLI-level version of the engine's internal reconciliation.
+fn validate_trace(trace_json: &str, metrics_json: &str) -> Result<(), String> {
+    use tepic_ccc::telemetry::{parse_json, JsonValue};
+    let t = parse_json(trace_json).map_err(|e| format!("trace JSON: {e}"))?;
+    let m = parse_json(metrics_json).map_err(|e| format!("metrics JSON: {e}"))?;
+    let events = t
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .ok_or("traceEvents missing")?;
+    for stage in ["compile", "emulate", "encode", "simulate"] {
+        let n = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(JsonValue::as_str) == Some("X")
+                    && e.get("name").and_then(JsonValue::as_str) == Some(stage)
+            })
+            .count();
+        if n == 0 {
+            return Err(format!("no {stage} span in trace"));
+        }
+    }
+    let meta = t.get("metadata").ok_or("metadata missing")?;
+    match meta.get("dropped").and_then(JsonValue::as_f64) {
+        Some(0.0) => {}
+        Some(n) => return Err(format!("{n} events dropped from the ring")),
+        None => return Err("metadata.dropped missing".to_string()),
+    }
+    let counts = meta.get("counts").ok_or("metadata.counts missing")?;
+    let counters = m
+        .get("metrics")
+        .and_then(|v| v.get("counters"))
+        .ok_or("metrics.counters missing")?;
+    let num = |obj: &JsonValue, k: &str| obj.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0);
+    for (kind, metric) in [
+        ("cache_hit", "fetch.cache_hits"),
+        ("cache_miss", "fetch.cache_misses"),
+        ("atb_hit", "fetch.atb_hits"),
+        ("atb_miss", "fetch.atb_misses"),
+        ("pred_correct", "fetch.pred_correct"),
+        ("pred_wrong", "fetch.pred_wrong"),
+        ("l0_hit", "fetch.buffer_hits"),
+        ("l0_fill", "fetch.buffer_misses"),
+        ("decode_stall", "fetch.buffer_misses"),
+        ("integrity_fault", "fetch.integrity_faults"),
+    ] {
+        let traced = num(counts, kind);
+        let counted = num(counters, metric);
+        if traced != counted {
+            return Err(format!("counts.{kind} = {traced} but {metric} = {counted}"));
+        }
+    }
+    // Nothing dropped, so the instant events in the stream must match
+    // the totals kind for kind.
+    for kind in [
+        "cache_hit",
+        "cache_miss",
+        "atb_hit",
+        "atb_miss",
+        "pred_correct",
+        "pred_wrong",
+        "l0_hit",
+        "l0_fill",
+        "decode_stall",
+        "integrity_fault",
+    ] {
+        let streamed = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(JsonValue::as_str) == Some("i")
+                    && e.get("name").and_then(JsonValue::as_str) == Some(kind)
+            })
+            .count() as f64;
+        let total = num(counts, kind);
+        if streamed != total {
+            return Err(format!("{kind}: {streamed} in stream, {total} in totals"));
+        }
+    }
+    Ok(())
 }

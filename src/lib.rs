@@ -19,7 +19,10 @@
 //! * [`workloads`] — eight SPECint95-class benchmark stand-ins;
 //! * [`bench`] — the experiment harness: the parallel prepared-workload
 //!   engine with its content-addressed artifact cache, and the pure
-//!   figure renderers.
+//!   figure renderers;
+//! * [`telemetry`] — the unified observability layer: metrics registry,
+//!   structured trace sinks, Chrome-trace/JSON exporters and clock
+//!   injection (DESIGN.md §12).
 //!
 //! # Quickstart
 //!
@@ -40,6 +43,7 @@
 
 pub use ccc_bench as bench;
 pub use ccc_core as ccc;
+pub use ccc_telemetry as telemetry;
 pub use ifetch_sim as fetch;
 pub use lego;
 pub use tepic_isa as isa;
@@ -55,7 +59,11 @@ pub mod prelude {
         schemes::{self, Scheme},
         AddressTranslationTable, CompressionReport, EncodedProgram,
     };
-    pub use ifetch_sim::{simulate, EncodingClass, FetchConfig, PenaltyTable};
+    pub use ccc_telemetry::{MetricsRegistry, RingSink, SharedSink, TraceSink};
+    pub use ifetch_sim::{
+        simulate, simulate_decoded, simulate_decoded_traced, simulate_traced, DecodeStats,
+        EncodingClass, FetchConfig, FetchResult, PenaltyTable,
+    };
     pub use lego;
     pub use tepic_isa::Program;
     pub use tinker_huffman::CodeBook;
