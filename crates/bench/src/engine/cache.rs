@@ -19,18 +19,30 @@
 //! ```
 //!
 //! A bad magic, length or CRC classifies the entry as **corrupt**: the
-//! reader reports it (the engine counts and rebuilds) rather than
-//! trusting the bytes. Writes go through a unique temp file followed by
-//! an atomic rename, so readers never observe a half-written entry.
+//! reader reports it, and the engine *quarantines* the damaged file
+//! (moved to `<dir>/quarantine/` under its original key-derived name,
+//! never silently deleted) before rebuilding. An I/O error mid-read is
+//! classified as **transient** instead — the engine retries those with
+//! backoff before degrading to a rebuild. Writes go through a unique
+//! temp file followed by an atomic rename, so readers never observe a
+//! half-written entry.
+//!
+//! Every disk touch is threaded through a [`Failpoints`] registry
+//! (sites `cache.read`, `cache.write`, `cache.rename`; DESIGN.md §13),
+//! so the chaos harness can inject torn reads, failed writes and
+//! corrupt payloads deterministically. The default registry is
+//! inactive and costs one atomic load per operation.
 //!
 //! [`Program`]: tepic_isa::Program
 //! [`BlockTrace`]: yula::BlockTrace
 
+use ccc_core::failpoint::{sites, FailMode, Failpoints};
 use ccc_core::integrity::crc32;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use tepic_isa::wire::Fnv128;
 
 /// Magic prefix of every cache entry file.
@@ -92,15 +104,22 @@ pub enum Lookup {
     Hit(Vec<u8>),
     /// No entry under this key.
     Miss,
-    /// An entry exists but is damaged (bad magic/length/CRC, or an I/O
-    /// error mid-read). The engine rebuilds and overwrites it.
+    /// An entry exists but is damaged (bad magic/length/CRC). The
+    /// engine quarantines the file and rebuilds.
     Corrupt,
+    /// The probe hit a (possibly transient) I/O error mid-read. The
+    /// engine retries with backoff, then degrades to a rebuild.
+    Transient,
 }
+
+/// Name of the quarantine subdirectory under the cache root.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// A directory of content-addressed artifact files.
 #[derive(Debug, Clone)]
 pub struct ArtifactCache {
     dir: PathBuf,
+    failpoints: Arc<Failpoints>,
 }
 
 impl ArtifactCache {
@@ -112,12 +131,27 @@ impl ArtifactCache {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<ArtifactCache> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(ArtifactCache { dir })
+        Ok(ArtifactCache {
+            dir,
+            failpoints: Arc::new(Failpoints::disabled()),
+        })
+    }
+
+    /// Replaces the failpoint registry consulted on every disk touch.
+    #[must_use]
+    pub fn with_failpoints(mut self, failpoints: Arc<Failpoints>) -> ArtifactCache {
+        self.failpoints = failpoints;
+        self
     }
 
     /// The cache's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The quarantine directory damaged entries are moved into.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join(QUARANTINE_DIR)
     }
 
     fn path_of(&self, key: &CacheKey) -> PathBuf {
@@ -130,8 +164,16 @@ impl ArtifactCache {
         let raw = match fs::read(&path) {
             Ok(raw) => raw,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Lookup::Miss,
-            Err(_) => return Lookup::Corrupt,
+            Err(_) => return Lookup::Transient,
         };
+        // The injection point sits after the successful read: only an
+        // entry that exists can be torn or misread, and a fault here is
+        // indistinguishable from real disk trouble to the caller.
+        match self.failpoints.check(sites::CACHE_READ) {
+            Some(FailMode::Corrupt) => return Lookup::Corrupt,
+            Some(_) => return Lookup::Transient,
+            None => {}
+        }
         if raw.len() < HEADER_BYTES || raw[..4] != MAGIC {
             return Lookup::Corrupt;
         }
@@ -144,13 +186,31 @@ impl ArtifactCache {
         Lookup::Hit(payload.to_vec())
     }
 
+    /// Moves the entry under `key` into the quarantine directory,
+    /// preserving the key-derived file name (kind, label and content
+    /// hash stay readable in a directory listing). Never deletes data:
+    /// a quarantined file is evidence for post-mortems, not garbage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures (including the entry not
+    /// existing); the engine treats those as non-fatal.
+    pub fn quarantine(&self, key: &CacheKey) -> io::Result<PathBuf> {
+        let qdir = self.quarantine_dir();
+        fs::create_dir_all(&qdir)?;
+        let dest = qdir.join(key.file_name());
+        fs::rename(self.path_of(key), &dest)?;
+        Ok(dest)
+    }
+
     /// Stores `payload` under `key` (overwriting any existing entry)
     /// via a temp-file write and atomic rename.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem failures; the engine treats a failed store
-    /// as non-fatal (the artifact is already in memory).
+    /// Propagates filesystem failures; the engine retries with backoff
+    /// and ultimately treats a failed store as non-fatal (the artifact
+    /// is already in memory).
     pub fn store(&self, key: &CacheKey, payload: &[u8]) -> io::Result<()> {
         let path = self.path_of(key);
         let tmp = self
@@ -161,7 +221,22 @@ impl ArtifactCache {
         raw.extend_from_slice(&crc32(payload).to_le_bytes());
         raw.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         raw.extend_from_slice(payload);
+        match self.failpoints.check(sites::CACHE_WRITE) {
+            Some(FailMode::Corrupt) => {
+                // A torn write: the entry lands on disk with a damaged
+                // payload byte, for a later read to detect and
+                // quarantine. The store itself "succeeds".
+                let last = raw.len() - 1;
+                raw[last] ^= 0xff;
+            }
+            Some(_) => return Err(io::Error::other("injected failpoint: cache.write")),
+            None => {}
+        }
         fs::write(&tmp, &raw)?;
+        if self.failpoints.check(sites::CACHE_RENAME).is_some() {
+            let _ = fs::remove_file(&tmp);
+            return Err(io::Error::other("injected failpoint: cache.rename"));
+        }
         match fs::rename(&tmp, &path) {
             Ok(()) => Ok(()),
             Err(e) => {

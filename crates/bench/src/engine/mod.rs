@@ -17,19 +17,45 @@
 //! change with its [`CODEC_VERSION`] bump, different `lego::Options` —
 //! yields a different key, so entries are immutable and never
 //! invalidated in place. See DESIGN.md §10.
+//!
+//! ## Self-healing (DESIGN.md §13)
+//!
+//! The engine assumes its infrastructure — disk, worker jobs, stage
+//! builds — can fail *transiently*, and recovers instead of crashing:
+//!
+//! * transient cache-read errors are retried with bounded exponential
+//!   backoff ([`ccc_core::RetryPolicy`]) and then degrade to a rebuild;
+//! * entries with damaged bytes are **quarantined** (moved to
+//!   `<cache-dir>/quarantine/`, never deleted) and rebuilt;
+//! * failed cache stores are retried, then dropped (the artifact is in
+//!   memory; only warm-run speed is lost);
+//! * pool jobs run panic-isolated ([`pool::run_tasks_isolated`]): a
+//!   poisoned job never takes a worker down, and is re-run a bounded
+//!   number of times before surfacing as a typed [`PrepareError::Job`];
+//! * stage builds guarded by `stage.*` failpoints retry injected flaky
+//!   failures and ultimately degrade to building anyway.
+//!
+//! Every recovery action is counted in a [`RecoverySnapshot`]
+//! (`recover.*` metrics plus `cache.quarantined`), and every injected
+//! fault is logged by the [`Failpoints`] registry, so the chaos harness
+//! (`tepic-cc chaos`) can reconcile the two one for one. All backoff
+//! timing flows through the injectable [`Clock`]/[`Sleeper`] pair;
+//! tests pin it with a `FakeClock`.
 
 pub mod cache;
 pub mod pool;
 
 use crate::Prepared;
 use cache::{ArtifactCache, CacheKey, Lookup};
+use ccc_core::failpoint::{sites, Failpoints};
 use ccc_core::schemes::base::encode_base;
 use ccc_core::schemes::{
     base::BaseScheme, byte::ByteScheme, full::FullScheme, stream::StreamScheme,
     tailored::TailoredScheme, CompressError, Scheme,
 };
-use ccc_core::{CompressionReport, EncodedProgram, CODEC_VERSION};
-use ccc_telemetry::{Clock, MonotonicClock, SharedSink, TraceEvent};
+use ccc_core::{CompressionReport, EncodedProgram, RetryPolicy, CODEC_VERSION};
+use ccc_telemetry::{Clock, MonotonicClock, SharedSink, Sleeper, ThreadSleeper, TraceEvent};
+use pool::JobPanic;
 use std::fmt;
 use std::io;
 use std::path::PathBuf;
@@ -71,6 +97,9 @@ pub enum PrepareError {
         /// The underlying codec failure.
         error: CompressError,
     },
+    /// The pool job hosting this workload panicked on every attempt the
+    /// retry budget allowed (the workers themselves survived).
+    Job(JobPanic),
 }
 
 impl fmt::Display for PrepareError {
@@ -78,6 +107,7 @@ impl fmt::Display for PrepareError {
         match self {
             PrepareError::Workload(e) => write!(f, "{e}"),
             PrepareError::Compress { scheme, error } => write!(f, "{scheme}: {error}"),
+            PrepareError::Job(p) => write!(f, "job panicked after retries: {}", p.message),
         }
     }
 }
@@ -101,10 +131,11 @@ pub struct WorkloadFailure {
 
 /// Aggregated preparation failures — one entry per failed workload, so
 /// a broken suite reports every casualty in one pass instead of
-/// panicking at the first.
+/// panicking at the first. Sorted by workload name, so the report is
+/// byte-stable across `--jobs` settings and pool interleavings.
 #[derive(Debug)]
 pub struct PrepareErrors {
-    /// Per-workload failures, in workload order.
+    /// Per-workload failures, sorted by workload name.
     pub failures: Vec<WorkloadFailure>,
 }
 
@@ -219,6 +250,121 @@ impl EngineSnapshot {
     }
 }
 
+/// Counter snapshot of the engine's *recovery* activity: what it
+/// retried, what it quarantined, what it gave up on. Kept separate from
+/// [`EngineSnapshot`] (cache traffic and stage timers) because a healthy
+/// run is all zeros here, and because the chaos harness reconciles this
+/// family one-for-one against the failpoint injection log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverySnapshot {
+    /// Transient cache-read failures observed (each is one retry-loop
+    /// attempt that failed; equals the injected `cache.read` I/O fault
+    /// count when no real disk errors occur).
+    pub cache_read_faults: u64,
+    /// Cache probes that exhausted the retry budget and degraded to a
+    /// rebuild.
+    pub cache_read_giveups: u64,
+    /// Damaged entries moved to `<cache-dir>/quarantine/` (metric
+    /// `cache.quarantined`).
+    pub quarantined: u64,
+    /// Failed cache-store attempts (write or publish-rename).
+    pub cache_write_faults: u64,
+    /// Cache stores dropped after exhausting the retry budget (the
+    /// artifact stays in memory; only warm-run speed is lost).
+    pub cache_write_giveups: u64,
+    /// Pool-job panics caught by the isolated pool (workers survived).
+    pub job_panics: u64,
+    /// Panicked pool jobs re-run.
+    pub job_retries: u64,
+    /// Pool jobs abandoned after exhausting the retry budget
+    /// (surfaced as [`PrepareError::Job`]).
+    pub job_giveups: u64,
+    /// Injected flaky stage failures retried.
+    pub stage_faults: u64,
+    /// Stages that exhausted the flaky-retry budget and degraded to
+    /// building anyway.
+    pub stage_giveups: u64,
+    /// Total nanoseconds of backoff slept (fake or real, per the
+    /// engine's [`Sleeper`]).
+    pub backoff_ns: u64,
+}
+
+impl RecoverySnapshot {
+    /// Total faults the engine observed and survived.
+    pub fn total_faults(&self) -> u64 {
+        self.cache_read_faults + self.cache_write_faults + self.job_panics + self.stage_faults
+    }
+
+    /// Whether any recovery machinery engaged at all.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoverySnapshot::default()
+    }
+
+    /// Folds the snapshot into a metrics registry: the `recover.*`
+    /// family plus the `cache.quarantined` counter.
+    pub fn record_metrics(&self, registry: &ccc_telemetry::MetricsRegistry) {
+        let pairs: [(&str, u64); 11] = [
+            ("recover.cache_read_faults", self.cache_read_faults),
+            ("recover.cache_read_giveups", self.cache_read_giveups),
+            ("cache.quarantined", self.quarantined),
+            ("recover.cache_write_faults", self.cache_write_faults),
+            ("recover.cache_write_giveups", self.cache_write_giveups),
+            ("recover.job_panics", self.job_panics),
+            ("recover.job_retries", self.job_retries),
+            ("recover.job_giveups", self.job_giveups),
+            ("recover.stage_faults", self.stage_faults),
+            ("recover.stage_giveups", self.stage_giveups),
+            ("recover.backoff_ns", self.backoff_ns),
+        ];
+        for (name, v) in pairs {
+            registry.counter(name).add(v);
+        }
+    }
+
+    /// Renders the recovery table the chaos driver prints (skipped by
+    /// the bench driver when [`RecoverySnapshot::is_clean`]).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("recovery: faults survived and actions taken\n");
+        out.push_str(&format!(
+            "  cache-read  faults {:>4}  giveups {:>4}   quarantined {:>4}\n",
+            self.cache_read_faults, self.cache_read_giveups, self.quarantined
+        ));
+        out.push_str(&format!(
+            "  cache-write faults {:>4}  giveups {:>4}\n",
+            self.cache_write_faults, self.cache_write_giveups
+        ));
+        out.push_str(&format!(
+            "  pool-job    panics {:>4}  retries {:>4}   giveups {:>4}\n",
+            self.job_panics, self.job_retries, self.job_giveups
+        ));
+        out.push_str(&format!(
+            "  stage       faults {:>4}  giveups {:>4}\n",
+            self.stage_faults, self.stage_giveups
+        ));
+        out.push_str(&format!(
+            "  backoff     {:.3} ms total\n",
+            self.backoff_ns as f64 / 1e6
+        ));
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct RecoveryCounters {
+    cache_read_faults: AtomicU64,
+    cache_read_giveups: AtomicU64,
+    quarantined: AtomicU64,
+    cache_write_faults: AtomicU64,
+    cache_write_giveups: AtomicU64,
+    job_panics: AtomicU64,
+    job_retries: AtomicU64,
+    job_giveups: AtomicU64,
+    stage_faults: AtomicU64,
+    stage_giveups: AtomicU64,
+    backoff_ns: AtomicU64,
+}
+
 #[derive(Debug, Default)]
 struct Counters {
     program_hits: AtomicU64,
@@ -264,6 +410,16 @@ impl Kind {
             Kind::Report => "report",
         }
     }
+
+    /// The failpoint site guarding this stage's build.
+    fn site(self) -> &'static str {
+        match self {
+            Kind::Program => sites::STAGE_COMPILE,
+            Kind::Trace => sites::STAGE_EMULATE,
+            Kind::Image => sites::STAGE_ENCODE,
+            Kind::Report => sites::STAGE_REPORT,
+        }
+    }
 }
 
 /// Sensible worker count for this host.
@@ -287,7 +443,11 @@ pub struct Engine {
     jobs: usize,
     cache: Option<ArtifactCache>,
     counters: Counters,
+    recovery: RecoveryCounters,
     clock: Arc<dyn Clock>,
+    sleeper: Arc<dyn Sleeper>,
+    failpoints: Arc<Failpoints>,
+    retry: RetryPolicy,
     sink: Option<SharedSink>,
 }
 
@@ -298,7 +458,11 @@ impl Engine {
             jobs: jobs.max(1),
             cache: None,
             counters: Counters::default(),
+            recovery: RecoveryCounters::default(),
             clock: Arc::new(MonotonicClock::new()),
+            sleeper: Arc::new(ThreadSleeper),
+            failpoints: Arc::new(Failpoints::disabled()),
+            retry: RetryPolicy::default(),
             sink: None,
         }
     }
@@ -309,13 +473,10 @@ impl Engine {
     ///
     /// Propagates the failure to create the cache directory.
     pub fn with_cache_dir(jobs: usize, dir: impl Into<PathBuf>) -> io::Result<Engine> {
-        Ok(Engine {
-            jobs: jobs.max(1),
-            cache: Some(ArtifactCache::open(dir)?),
-            counters: Counters::default(),
-            clock: Arc::new(MonotonicClock::new()),
-            sink: None,
-        })
+        let cache = ArtifactCache::open(dir)?;
+        let mut eng = Engine::uncached(jobs);
+        eng.cache = Some(cache);
+        Ok(eng)
     }
 
     /// Replaces the clock the stage timers read. Tests inject a
@@ -324,6 +485,44 @@ impl Engine {
     pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Engine {
         self.clock = clock;
         self
+    }
+
+    /// Replaces the sleeper backoff waits go through. Tests inject the
+    /// same [`ccc_telemetry::FakeClock`] used for [`Engine::with_clock`]
+    /// so retry schedules take zero wall-clock time.
+    #[must_use]
+    pub fn with_sleeper(mut self, sleeper: Arc<dyn Sleeper>) -> Engine {
+        self.sleeper = sleeper;
+        self
+    }
+
+    /// Arms the engine (and its cache, if any) with a failpoint
+    /// registry. The chaos harness and robustness tests inject faults
+    /// through this; the default registry is inactive.
+    #[must_use]
+    pub fn with_failpoints(mut self, failpoints: Arc<Failpoints>) -> Engine {
+        self.cache = self
+            .cache
+            .map(|c| c.with_failpoints(Arc::clone(&failpoints)));
+        self.failpoints = failpoints;
+        self
+    }
+
+    /// Replaces the retry policy for transient-fault recovery.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Engine {
+        self.retry = retry;
+        self
+    }
+
+    /// The armed failpoint registry (inactive by default).
+    pub fn failpoints(&self) -> &Arc<Failpoints> {
+        &self.failpoints
+    }
+
+    /// The configured retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Attaches a span sink: every cold build and every cache probe is
@@ -344,27 +543,46 @@ impl Engine {
     /// all cores), `CCC_NO_CACHE=1` to disable caching, `CCC_CACHE_DIR`
     /// to relocate it (default `target/ccc-artifacts`). If the cache
     /// directory cannot be created, the engine runs uncached and says so
-    /// on stderr.
+    /// on stderr. `CCC_FAILPOINTS` (a `site:prob:mode,...` spec, seeded
+    /// by `CCC_FAILPOINT_SEED`, default 0) arms fault injection; a
+    /// malformed spec is reported on stderr and ignored.
     pub fn from_env() -> Engine {
         let jobs = std::env::var("CCC_JOBS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .unwrap_or_else(default_jobs);
-        if std::env::var("CCC_NO_CACHE").is_ok_and(|v| v == "1") {
-            return Engine::uncached(jobs);
-        }
-        let dir = std::env::var("CCC_CACHE_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|_| default_cache_dir());
-        match Engine::with_cache_dir(jobs, &dir) {
-            Ok(e) => e,
-            Err(err) => {
-                eprintln!(
-                    "warning: artifact cache unavailable at {}: {err}",
-                    dir.display()
-                );
-                Engine::uncached(jobs)
+        let eng = if std::env::var("CCC_NO_CACHE").is_ok_and(|v| v == "1") {
+            Engine::uncached(jobs)
+        } else {
+            let dir = std::env::var("CCC_CACHE_DIR")
+                .map(PathBuf::from)
+                .unwrap_or_else(|_| default_cache_dir());
+            match Engine::with_cache_dir(jobs, &dir) {
+                Ok(e) => e,
+                Err(err) => {
+                    eprintln!(
+                        "warning: artifact cache unavailable at {}: {err}",
+                        dir.display()
+                    );
+                    Engine::uncached(jobs)
+                }
             }
+        };
+        match std::env::var("CCC_FAILPOINTS") {
+            Ok(spec) if !spec.trim().is_empty() => {
+                let seed = std::env::var("CCC_FAILPOINT_SEED")
+                    .ok()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0);
+                match Failpoints::from_spec(&spec, seed) {
+                    Ok(fp) => eng.with_failpoints(Arc::new(fp)),
+                    Err(err) => {
+                        eprintln!("warning: CCC_FAILPOINTS ignored: {err}");
+                        eng
+                    }
+                }
+            }
+            _ => eng,
         }
     }
 
@@ -399,6 +617,25 @@ impl Engine {
         }
     }
 
+    /// Snapshot of the recovery counters (all zeros on a healthy run).
+    pub fn recovery(&self) -> RecoverySnapshot {
+        let r = &self.recovery;
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        RecoverySnapshot {
+            cache_read_faults: g(&r.cache_read_faults),
+            cache_read_giveups: g(&r.cache_read_giveups),
+            quarantined: g(&r.quarantined),
+            cache_write_faults: g(&r.cache_write_faults),
+            cache_write_giveups: g(&r.cache_write_giveups),
+            job_panics: g(&r.job_panics),
+            job_retries: g(&r.job_retries),
+            job_giveups: g(&r.job_giveups),
+            stage_faults: g(&r.stage_faults),
+            stage_giveups: g(&r.stage_giveups),
+            backoff_ns: g(&r.backoff_ns),
+        }
+    }
+
     fn bump(&self, kind: Kind, hit: bool) {
         let c = &self.counters;
         let ctr = match (kind, hit) {
@@ -423,7 +660,97 @@ impl Engine {
         }
     }
 
-    /// The shared cached-artifact path: probe, decode, else build, store.
+    /// Probes the cache under the retry policy: transient read errors
+    /// are retried with backoff, then degrade to a miss (rebuild).
+    fn probe_with_retry(&self, cache: &ArtifactCache, key: &CacheKey) -> Lookup {
+        let (res, trace) =
+            self.retry
+                .run(&*self.clock, &*self.sleeper, |_| match cache.load(key) {
+                    Lookup::Transient => {
+                        self.recovery
+                            .cache_read_faults
+                            .fetch_add(1, Ordering::Relaxed);
+                        Err(())
+                    }
+                    other => Ok(other),
+                });
+        self.recovery
+            .backoff_ns
+            .fetch_add(trace.slept_ns(), Ordering::Relaxed);
+        match res {
+            Ok(lookup) => lookup,
+            Err(()) => {
+                // Retry budget exhausted: degrade to a rebuild. The
+                // entry on disk (if any) stays put for a later run.
+                self.recovery
+                    .cache_read_giveups
+                    .fetch_add(1, Ordering::Relaxed);
+                Lookup::Miss
+            }
+        }
+    }
+
+    /// Records a damaged entry and moves it to quarantine (never
+    /// deleted; the rebuild will store a fresh entry alongside).
+    fn quarantine_entry(&self, cache: &ArtifactCache, key: &CacheKey) {
+        self.counters
+            .corrupt_entries
+            .fetch_add(1, Ordering::Relaxed);
+        if cache.quarantine(key).is_ok() {
+            self.recovery.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Stores under the retry policy; a store that keeps failing is
+    /// dropped (the artifact is in memory, only warm-run speed is lost).
+    fn store_with_retry(&self, cache: &ArtifactCache, key: &CacheKey, payload: &[u8]) {
+        let (res, trace) = self.retry.run(&*self.clock, &*self.sleeper, |_| {
+            cache.store(key, payload).map_err(|_| ())
+        });
+        let failed_attempts = u64::from(trace.attempts) - u64::from(res.is_ok());
+        if failed_attempts > 0 {
+            self.recovery
+                .cache_write_faults
+                .fetch_add(failed_attempts, Ordering::Relaxed);
+        }
+        self.recovery
+            .backoff_ns
+            .fetch_add(trace.slept_ns(), Ordering::Relaxed);
+        if res.is_err() {
+            self.recovery
+                .cache_write_giveups
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Retries injected flaky failures at this stage's failpoint site,
+    /// then degrades to proceeding anyway: an infrastructure fault must
+    /// never change what the engine computes, only how long it takes.
+    /// Costs one atomic load when no failpoints are armed.
+    fn stage_admission(&self, kind: Kind) {
+        if !self.failpoints.is_active() {
+            return;
+        }
+        let site = kind.site();
+        let (res, trace) = self.retry.run(&*self.clock, &*self.sleeper, |_| {
+            if self.failpoints.check(site).is_some() {
+                self.recovery.stage_faults.fetch_add(1, Ordering::Relaxed);
+                Err(())
+            } else {
+                Ok(())
+            }
+        });
+        self.recovery
+            .backoff_ns
+            .fetch_add(trace.slept_ns(), Ordering::Relaxed);
+        if res.is_err() {
+            self.recovery.stage_giveups.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The shared cached-artifact path: probe (with retry and
+    /// quarantine), decode, else build (behind the stage failpoint),
+    /// store (with retry).
     fn cached<T>(
         &self,
         kind: Kind,
@@ -435,7 +762,7 @@ impl Engine {
         if let Some(cache) = &self.cache {
             // Only pay for clock reads on the probe when someone listens.
             let probe_start = self.sink.as_ref().map(|_| self.clock.now_ns());
-            let looked = cache.load(key);
+            let looked = self.probe_with_retry(cache, key);
             if let (Some(sink), Some(start)) = (&self.sink, probe_start) {
                 sink.record(TraceEvent::Span {
                     name: "cache-probe",
@@ -453,19 +780,17 @@ impl Engine {
                     Err(_) => {
                         // CRC passed but the payload does not parse:
                         // treat exactly like a damaged entry.
-                        self.counters
-                            .corrupt_entries
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.quarantine_entry(cache, key);
                     }
                 },
                 Lookup::Corrupt => {
-                    self.counters
-                        .corrupt_entries
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.quarantine_entry(cache, key);
                 }
                 Lookup::Miss => {}
+                Lookup::Transient => unreachable!("probe_with_retry resolves Transient"),
             }
         }
+        self.stage_admission(kind);
         let start = self.clock.now_ns();
         let value = build()?;
         let dur = self.clock.now_ns().saturating_sub(start);
@@ -480,8 +805,7 @@ impl Engine {
             });
         }
         if let Some(cache) = &self.cache {
-            // A failed store is not fatal — the artifact is in memory.
-            let _ = cache.store(key, &encode(&value));
+            self.store_with_retry(cache, key, &encode(&value));
         }
         Ok(value)
     }
@@ -623,31 +947,107 @@ impl Engine {
         .expect("report build is infallible")
     }
 
+    /// Panics the current pool job if the `pool.job` failpoint fires.
+    /// Called at the top of every task the engine dispatches; the
+    /// isolated pool catches the panic and the engine re-runs the job.
+    fn pool_job_admission(&self) {
+        if self.failpoints.check(sites::POOL_JOB).is_some() {
+            panic!("injected failpoint: pool.job");
+        }
+    }
+
+    /// Runs `tasks` on the panic-isolated pool, re-running panicked jobs
+    /// (with backoff) up to the retry policy's attempt budget. Healthy
+    /// workers are never lost to a poisoned job; a job that panics on
+    /// every attempt surfaces as `Err(JobPanic)` in its original slot.
+    fn run_jobs_healed<T, F>(&self, tasks: Vec<F>) -> Vec<Result<T, JobPanic>>
+    where
+        T: Send,
+        F: Fn() -> T + Send + Sync,
+    {
+        let n = tasks.len();
+        let mut results: Vec<Option<Result<T, JobPanic>>> = (0..n).map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..n).collect();
+        let mut attempt: u32 = 1;
+        let max_attempts = self.retry.max_attempts.max(1);
+        loop {
+            let round: Vec<_> = pending
+                .iter()
+                .map(|&i| {
+                    let task = &tasks[i];
+                    move || task()
+                })
+                .collect();
+            let out = pool::run_tasks_isolated(self.jobs, round);
+            let mut panicked: Vec<(usize, JobPanic)> = Vec::new();
+            for (&i, r) in pending.iter().zip(out) {
+                match r {
+                    Ok(v) => results[i] = Some(Ok(v)),
+                    Err(p) => {
+                        self.recovery.job_panics.fetch_add(1, Ordering::Relaxed);
+                        panicked.push((i, p));
+                    }
+                }
+            }
+            if panicked.is_empty() {
+                break;
+            }
+            if attempt >= max_attempts {
+                for (i, p) in panicked {
+                    self.recovery.job_giveups.fetch_add(1, Ordering::Relaxed);
+                    results[i] = Some(Err(JobPanic {
+                        task_index: i,
+                        message: p.message,
+                    }));
+                }
+                break;
+            }
+            let delay = self.retry.delay_after(attempt);
+            self.sleeper.sleep_ns(delay);
+            self.recovery.backoff_ns.fetch_add(delay, Ordering::Relaxed);
+            self.recovery
+                .job_retries
+                .fetch_add(panicked.len() as u64, Ordering::Relaxed);
+            pending = panicked.into_iter().map(|(i, _)| i).collect();
+            attempt += 1;
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot resolved"))
+            .collect()
+    }
+
     /// Prepares `list` in parallel: compile + trace per workload, then
-    /// the workload x scheme image matrix, all through the cache.
+    /// the workload x scheme image matrix, all through the cache. Pool
+    /// jobs are panic-isolated and re-run on injected panics.
     ///
     /// # Errors
     ///
     /// [`PrepareErrors`] aggregating every failed workload (the paper
     /// harness cannot proceed on partial data, but it *can* report all
-    /// casualties at once instead of panicking at the first).
+    /// casualties at once instead of panicking at the first), sorted by
+    /// workload name.
     pub fn prepare(&self, list: &[&'static Workload]) -> Result<Vec<Prepared>, PrepareErrors> {
         let opts = lego::Options::default();
 
         // Stage 1: compile + trace, one task per workload.
-        let stage1 = pool::run_tasks(
-            self.jobs,
-            list.iter()
-                .map(|w| {
-                    let opts = &opts;
-                    move || -> Result<(Program, BlockTrace), PrepareError> {
-                        let program = self.program(w.name, w.source(), opts)?;
-                        let trace = self.trace(w.name, w.source(), opts, &program)?;
-                        Ok((program, trace))
-                    }
-                })
-                .collect(),
-        );
+        let stage1: Vec<Result<(Program, BlockTrace), PrepareError>> = self
+            .run_jobs_healed(
+                list.iter()
+                    .map(|w| {
+                        let opts = &opts;
+                        move || -> Result<(Program, BlockTrace), PrepareError> {
+                            self.pool_job_admission();
+                            let program = self.program(w.name, w.source(), opts)?;
+                            let trace = self.trace(w.name, w.source(), opts, &program)?;
+                            Ok((program, trace))
+                        }
+                    })
+                    .collect(),
+            )
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|p| Err(PrepareError::Job(p))))
+            .collect();
 
         // Stage 2: the image matrix over every workload that compiled.
         let mut matrix_tasks: Vec<(usize, &'static str, &Program, &'static Workload)> = Vec::new();
@@ -658,16 +1058,22 @@ impl Engine {
                 }
             }
         }
-        let images = pool::run_tasks(
-            self.jobs,
-            matrix_tasks
-                .iter()
-                .map(|&(_, scheme, program, w)| {
-                    let opts = &opts;
-                    move || self.image(w.name, w.source(), opts, scheme, program)
-                })
-                .collect(),
-        );
+        let images: Vec<Result<EncodedProgram, PrepareError>> = self
+            .run_jobs_healed(
+                matrix_tasks
+                    .iter()
+                    .map(|&(_, scheme, program, w)| {
+                        let opts = &opts;
+                        move || {
+                            self.pool_job_admission();
+                            self.image(w.name, w.source(), opts, scheme, program)
+                        }
+                    })
+                    .collect(),
+            )
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|p| Err(PrepareError::Job(p))))
+            .collect();
 
         // Aggregate: pair matrix results back to workloads, keeping the
         // first error per workload (stage-1 errors already won above).
@@ -710,6 +1116,9 @@ impl Engine {
         if failures.is_empty() {
             Ok(prepared)
         } else {
+            // Name order, not pool-completion order: the failure report
+            // must be byte-stable across --jobs settings.
+            failures.sort_by(|a, b| a.workload.cmp(&b.workload));
             Err(PrepareErrors { failures })
         }
     }
@@ -725,19 +1134,31 @@ impl Engine {
     }
 
     /// Builds (cached, in parallel) the per-workload compression reports
-    /// for already-prepared workloads.
+    /// for already-prepared workloads. Report building is infallible, so
+    /// a job whose panic-retry budget runs out falls back to building
+    /// inline on the caller's thread (outside the `pool.job` failpoint).
     pub fn reports(&self, prepared: &[Prepared]) -> Vec<CompressionReport> {
         let opts = lego::Options::default();
-        pool::run_tasks(
-            self.jobs,
+        let out = self.run_jobs_healed(
             prepared
                 .iter()
                 .map(|p| {
                     let opts = &opts;
-                    move || self.report(p.workload.name, p.workload.source(), opts, &p.program)
+                    move || {
+                        self.pool_job_admission();
+                        self.report(p.workload.name, p.workload.source(), opts, &p.program)
+                    }
                 })
                 .collect(),
-        )
+        );
+        out.into_iter()
+            .zip(prepared)
+            .map(|(r, p)| {
+                r.unwrap_or_else(|_| {
+                    self.report(p.workload.name, p.workload.source(), &opts, &p.program)
+                })
+            })
+            .collect()
     }
 }
 
@@ -896,5 +1317,174 @@ mod tests {
         }
         assert!(scheme_by_name("base").is_some());
         assert!(scheme_by_name("no-such-scheme").is_none());
+    }
+
+    #[test]
+    fn prepare_errors_sort_by_workload_name() {
+        const Z_BAD: &Workload = &Workload::custom("z-bad", "bad", "fn main( {");
+        const A_BAD: &Workload = &Workload::custom("a-bad", "bad", "fn main( {");
+        let eng = Engine::uncached(4);
+        // Submitted z before a: the report must still come out sorted.
+        let err = eng.prepare(&[Z_BAD, GOOD, A_BAD]).unwrap_err();
+        let names: Vec<_> = err.failures.iter().map(|f| f.workload.as_str()).collect();
+        assert_eq!(names, ["a-bad", "z-bad"]);
+    }
+
+    fn fake_time_engine(dir: &PathBuf, spec: &str, seed: u64) -> Engine {
+        use ccc_telemetry::FakeClock;
+        let clock = Arc::new(FakeClock::with_step(0));
+        Engine::with_cache_dir(2, dir)
+            .unwrap()
+            .with_clock(clock.clone())
+            .with_sleeper(clock)
+            .with_failpoints(Arc::new(Failpoints::from_spec(spec, seed).unwrap()))
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_not_deleted() {
+        let dir = scratch("quarantine");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = Engine::with_cache_dir(2, &dir).unwrap();
+        let a = cold.prepare(&[GOOD]).unwrap();
+
+        // Damage the stored program entry on disk.
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| e.file_name().to_string_lossy().starts_with("program-"))
+            .expect("a program entry exists");
+        let path = entry.path();
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xff;
+        std::fs::write(&path, &raw).unwrap();
+
+        let warm = Engine::with_cache_dir(2, &dir).unwrap();
+        let b = warm.prepare(&[GOOD]).unwrap();
+        assert_eq!(a[0].program, b[0].program, "rebuild matches");
+        assert_eq!(warm.snapshot().corrupt_entries, 1);
+        let rec = warm.recovery();
+        assert_eq!(rec.quarantined, 1);
+        // The damaged bytes moved to quarantine/ under the same name.
+        let qpath = dir
+            .join(cache::QUARANTINE_DIR)
+            .join(path.file_name().unwrap());
+        assert_eq!(std::fs::read(&qpath).unwrap(), raw, "evidence preserved");
+        assert!(path.exists(), "rebuild stored a fresh entry");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transient_read_faults_degrade_to_rebuild() {
+        let dir = scratch("transient-read");
+        let _ = std::fs::remove_dir_all(&dir);
+        let clean = Engine::with_cache_dir(2, &dir).unwrap();
+        let a = clean.prepare(&[GOOD]).unwrap();
+
+        // Every read fails with an injected I/O error: the engine must
+        // exhaust retries, give up, and rebuild — same results out.
+        let eng = fake_time_engine(&dir, "cache.read:1.0:io", 42);
+        let b = eng.prepare(&[GOOD]).unwrap();
+        assert_eq!(a[0].program, b[0].program);
+        assert_eq!(a[0].trace, b[0].trace);
+        let rec = eng.recovery();
+        let probes = 2 + MATRIX_SCHEMES.len() as u64;
+        assert_eq!(rec.cache_read_giveups, probes, "every probe gave up");
+        assert_eq!(
+            rec.cache_read_faults,
+            probes * u64::from(eng.retry_policy().max_attempts),
+            "one fault per attempt per probe"
+        );
+        assert_eq!(
+            rec.cache_read_faults,
+            eng.failpoints().total_fired(),
+            "recovery reconciles with the injection log"
+        );
+        assert!(rec.backoff_ns > 0, "backoff was (fake-)slept");
+        assert_eq!(eng.snapshot().misses(), probes, "all rebuilt");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_faults_are_retried_then_dropped() {
+        let dir = scratch("write-fault");
+        let _ = std::fs::remove_dir_all(&dir);
+        let eng = fake_time_engine(&dir, "cache.write:1.0:io", 7);
+        let prepared = eng.prepare(&[GOOD]).unwrap();
+        assert_eq!(prepared.len(), 1, "stores are non-fatal");
+        let rec = eng.recovery();
+        let stores = 2 + MATRIX_SCHEMES.len() as u64;
+        assert_eq!(rec.cache_write_giveups, stores);
+        assert_eq!(
+            rec.cache_write_faults,
+            eng.failpoints().total_fired(),
+            "every injected write fault is accounted for"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(hook);
+        r
+    }
+
+    #[test]
+    fn poisoned_jobs_are_retried_then_typed() {
+        let dir = scratch("poisoned");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Every job panics on every attempt: prepare must survive the
+        // pool, exhaust retries, and report typed per-workload errors.
+        let eng = fake_time_engine(&dir, "pool.job:1.0:panic", 11);
+        let err = quiet_panics(|| eng.prepare(&[ALSO_GOOD, GOOD]).unwrap_err());
+        assert_eq!(err.failures.len(), 2);
+        let names: Vec<_> = err.failures.iter().map(|f| f.workload.as_str()).collect();
+        assert_eq!(names, ["engine-good", "engine-good-2"], "sorted by name");
+        for f in &err.failures {
+            assert!(matches!(f.error, PrepareError::Job(_)), "{}", f.error);
+        }
+        let rec = eng.recovery();
+        let max = u64::from(eng.retry_policy().max_attempts);
+        assert_eq!(rec.job_giveups, 2);
+        assert_eq!(rec.job_panics, 2 * max);
+        assert_eq!(rec.job_retries, 2 * (max - 1));
+        assert_eq!(rec.job_panics, eng.failpoints().total_fired());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn intermittent_job_panics_heal_to_identical_results() {
+        let dir = scratch("heal");
+        let _ = std::fs::remove_dir_all(&dir);
+        let clean = Engine::with_cache_dir(2, &dir).unwrap();
+        let a = clean.prepare(&[GOOD]).unwrap();
+
+        let eng = fake_time_engine(&dir, "pool.job:0.4:panic,cache.read:0.3:io", 1234);
+        let b = quiet_panics(|| eng.prepare(&[GOOD]).unwrap());
+        assert_eq!(a[0].program, b[0].program);
+        assert_eq!(a[0].trace, b[0].trace);
+        for ((na, ia), (nb, ib)) in a[0].images().zip(b[0].images()) {
+            assert_eq!(na, nb);
+            assert_eq!(ia, ib, "{na}: healed run differs");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flaky_stages_degrade_to_building() {
+        let dir = scratch("flaky-stage");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Flaky on every arrival: admission retries then waves the
+        // build through; results must be unaffected.
+        let eng = fake_time_engine(&dir, "stage.compile:1.0:flaky,stage.encode:1.0:flaky", 5);
+        let prepared = eng.prepare(&[GOOD]).unwrap();
+        assert_eq!(prepared.len(), 1);
+        let rec = eng.recovery();
+        let builds = 1 + MATRIX_SCHEMES.len() as u64; // compile + encodes
+        assert_eq!(rec.stage_giveups, builds);
+        assert_eq!(rec.stage_faults, eng.failpoints().total_fired());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -13,9 +13,71 @@
 //! order regardless of execution interleaving, so parallel runs are
 //! bit-identical to `jobs = 1` runs as long as the tasks themselves are
 //! pure — which the determinism suite asserts end to end.
+//!
+//! Two entry points share the executor: [`run_tasks`] propagates the
+//! first panicking task's payload (the historical behaviour, right for
+//! harness bugs), while [`run_tasks_isolated`] catches each task's
+//! panic individually — a poisoned job becomes an `Err(JobPanic)` slot
+//! in the result vector and every *worker thread survives*, which is
+//! what a long-running service needs from a batch with one bad element
+//! (DESIGN.md §13).
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+
+/// A task panicked inside [`run_tasks_isolated`]: the payload,
+/// stringified, with the task's batch index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the task in the submitted batch.
+    pub task_index: usize,
+    /// The panic payload rendered to text (`&str`/`String` payloads are
+    /// preserved verbatim; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.task_index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Renders a caught panic payload as text.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// [`run_tasks`] with per-task panic isolation: a panicking task yields
+/// `Err(JobPanic)` in its result slot instead of tearing down the pool.
+/// Worker threads always survive; result order is task order.
+pub fn run_tasks_isolated<T, F>(jobs: usize, tasks: Vec<F>) -> Vec<Result<T, JobPanic>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let wrapped: Vec<_> = tasks
+        .into_iter()
+        .enumerate()
+        .map(|(i, task)| {
+            move || {
+                catch_unwind(AssertUnwindSafe(task)).map_err(|payload| JobPanic {
+                    task_index: i,
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        })
+        .collect();
+    run_tasks(jobs, wrapped)
+}
 
 /// Runs every task, using up to `jobs` worker threads, and returns the
 /// results in task order.
@@ -149,6 +211,58 @@ mod tests {
         assert!(run_tasks(8, none).is_empty());
         let out = run_tasks(64, vec![|| 1u32, || 2u32]);
         assert_eq!(out, vec![1, 2]);
+    }
+
+    /// Runs `f` with the default panic hook silenced, so tests that
+    /// deliberately panic inside workers do not spam the test output.
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(hook);
+        r
+    }
+
+    #[test]
+    fn isolated_pool_survives_poisoned_jobs() {
+        let out = quiet_panics(|| {
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..24)
+                .map(|i| {
+                    let f: Box<dyn FnOnce() -> usize + Send> = if i % 5 == 0 {
+                        Box::new(move || panic!("poisoned job {i}"))
+                    } else {
+                        Box::new(move || i * 2)
+                    };
+                    f
+                })
+                .collect();
+            run_tasks_isolated(4, tasks)
+        });
+        assert_eq!(out.len(), 24, "every slot reports, poisoned or not");
+        for (i, r) in out.iter().enumerate() {
+            if i % 5 == 0 {
+                let p = r.as_ref().expect_err("poisoned slot");
+                assert_eq!(p.task_index, i);
+                assert_eq!(p.message, format!("poisoned job {i}"));
+            } else {
+                assert_eq!(*r.as_ref().expect("healthy slot"), i * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_pool_serial_path_catches_too() {
+        let out = quiet_panics(|| {
+            run_tasks_isolated(
+                1,
+                vec![
+                    Box::new(|| 1usize) as Box<dyn FnOnce() -> usize + Send>,
+                    Box::new(|| panic!("{}", String::from("owned payload"))),
+                ],
+            )
+        });
+        assert_eq!(*out[0].as_ref().unwrap(), 1);
+        assert_eq!(out[1].as_ref().unwrap_err().message, "owned payload");
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! the Address Translation Table ([`att`]), decoder hardware cost models
 //! ([`DecoderCost`], paper §3.5 Figures 9–10) with synthesizable-Verilog
 //! emission for the tailored decoder ([`pla`]), and a comparison report
-//! over all schemes ([`report`], Figures 5 and 7).
+//! over all schemes ([`report`], Figures 5 and 7). The robustness
+//! substrate lives here too: deterministic fault-injection sites
+//! ([`failpoint`]) and the bounded retry/backoff policy ([`retry`]) the
+//! self-healing bench engine runs on (DESIGN.md §13).
 //!
 //! # Example
 //!
@@ -40,18 +43,22 @@
 
 pub mod att;
 pub mod encoded;
+pub mod failpoint;
 pub mod fault;
 pub mod integrity;
 pub mod pla;
 pub mod report;
+pub mod retry;
 pub mod schemes;
 pub mod serialize;
 
 pub use att::{AddressTranslationTable, AttEntry, ATT_ENTRY_BYTES};
 pub use encoded::{DecoderCost, EncodedProgram, SchemeKind};
+pub use failpoint::{FailMode, Failpoints, Injection};
 pub use fault::{CampaignConfig, CampaignReport, FaultInjector, FaultKind, FaultTarget, Outcome};
 pub use integrity::{crc32, crc8, parity_fold, IntegrityError};
 pub use report::{CompressionReport, SchemeRow};
+pub use retry::{RetryPolicy, RetryTrace};
 pub use serialize::{
     encoded_from_bytes, encoded_to_bytes, report_from_bytes, report_to_bytes, CODEC_VERSION,
 };

@@ -1,0 +1,242 @@
+//! Bounded retry with exponential backoff, on injectable time.
+//!
+//! The self-healing engine retries *transient* infrastructure failures —
+//! a cache read that hit an I/O error, a flaky stage build, a poisoned
+//! pool job — a bounded number of times with exponentially growing
+//! delays. All timing flows through the injectable
+//! [`Clock`]/[`Sleeper`] pair from `ccc-telemetry`: production pairs a
+//! [`MonotonicClock`](ccc_telemetry::MonotonicClock) with a
+//! [`ThreadSleeper`](ccc_telemetry::ThreadSleeper); tests hand one
+//! [`FakeClock`](ccc_telemetry::FakeClock) in as both, which turns every
+//! backoff sleep into a fake-time advance and makes the exact retry
+//! schedule assertable to the nanosecond. See DESIGN.md §13.
+//!
+//! Policy semantics: `max_attempts` bounds the *total* number of tries
+//! (first try included). After failed attempt `k` (1-based) the policy
+//! sleeps `min(base_delay_ns * multiplier^(k-1), max_delay_ns)` before
+//! trying again; after attempt `max_attempts` it gives up and returns
+//! the final error. Deterministic (no jitter) by design — reproducible
+//! schedules matter more here than thundering-herd avoidance, and the
+//! chaos harness depends on them.
+
+use ccc_telemetry::{Clock, Sleeper};
+use std::fmt;
+
+/// A bounded exponential-backoff retry policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, first try included. `0` is treated as `1`.
+    pub max_attempts: u32,
+    /// Delay before the second attempt, in nanoseconds.
+    pub base_delay_ns: u64,
+    /// Backoff growth factor per failed attempt.
+    pub multiplier: u32,
+    /// Upper bound on any single delay, in nanoseconds.
+    pub max_delay_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    /// The engine's default: 6 attempts, 100 µs → 3.2 ms doubling
+    /// backoff. Small enough that a fully-injected chaos run stays
+    /// fast, deep enough that an injected fault firing at 20% per
+    /// attempt survives retries with probability ≈ 1 − 6.4e-5.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 6,
+            base_delay_ns: 100_000,
+            multiplier: 2,
+            max_delay_ns: 3_200_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no sleeping).
+    pub fn no_retries() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay_ns: 0,
+            multiplier: 1,
+            max_delay_ns: 0,
+        }
+    }
+
+    /// The delay scheduled after failed attempt `attempt` (1-based),
+    /// saturating at `max_delay_ns`.
+    pub fn delay_after(&self, attempt: u32) -> u64 {
+        let factor = u64::from(self.multiplier).saturating_pow(attempt.saturating_sub(1));
+        self.base_delay_ns
+            .saturating_mul(factor)
+            .min(self.max_delay_ns)
+    }
+
+    /// Runs `op` under this policy. `op` receives the 1-based attempt
+    /// number; transientness is the caller's call — everything that
+    /// returns `Err` here is retried until attempts run out.
+    ///
+    /// Returns the final result plus a [`RetryTrace`] recording the
+    /// attempt count and every delay actually slept, bracketed by clock
+    /// reads (exact under a `FakeClock`).
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error once `max_attempts` is exhausted.
+    pub fn run<T, E>(
+        &self,
+        clock: &dyn Clock,
+        sleeper: &dyn Sleeper,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> (Result<T, E>, RetryTrace) {
+        let max = self.max_attempts.max(1);
+        let mut trace = RetryTrace {
+            attempts: 0,
+            delays_ns: Vec::new(),
+            start_ns: clock.now_ns(),
+            end_ns: 0,
+        };
+        let result = loop {
+            trace.attempts += 1;
+            match op(trace.attempts) {
+                Ok(v) => break Ok(v),
+                Err(e) if trace.attempts >= max => break Err(e),
+                Err(_) => {
+                    let delay = self.delay_after(trace.attempts);
+                    sleeper.sleep_ns(delay);
+                    trace.delays_ns.push(delay);
+                }
+            }
+        };
+        trace.end_ns = clock.now_ns();
+        (result, trace)
+    }
+}
+
+/// What one [`RetryPolicy::run`] actually did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryTrace {
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// The backoff delays slept, in order (empty if no retries).
+    pub delays_ns: Vec<u64>,
+    /// Clock reading when the run started.
+    pub start_ns: u64,
+    /// Clock reading when the run ended.
+    pub end_ns: u64,
+}
+
+impl RetryTrace {
+    /// Retries performed (attempts beyond the first).
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
+    }
+
+    /// Total nanoseconds spent in backoff sleeps.
+    pub fn slept_ns(&self) -> u64 {
+        self.delays_ns.iter().sum()
+    }
+}
+
+impl fmt::Display for RetryTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} attempt(s), {} ns backoff",
+            self.attempts,
+            self.slept_ns()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_telemetry::FakeClock;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn first_try_success_sleeps_nothing() {
+        let clock = FakeClock::with_step(0);
+        let (r, trace) = RetryPolicy::default().run(&clock, &clock, |_| Ok::<_, ()>(7));
+        assert_eq!(r, Ok(7));
+        assert_eq!(trace.attempts, 1);
+        assert_eq!(trace.retries(), 0);
+        assert!(trace.delays_ns.is_empty());
+        assert_eq!(trace.slept_ns(), 0);
+    }
+
+    #[test]
+    fn backoff_delays_are_exact_under_fake_clock() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_delay_ns: 1_000,
+            multiplier: 3,
+            max_delay_ns: 10_000,
+        };
+        let clock = FakeClock::with_step(0);
+        let fails = AtomicU32::new(0);
+        let (r, trace) = policy.run(&clock, &clock, |attempt| {
+            fails.fetch_add(1, Ordering::Relaxed);
+            if attempt < 4 {
+                Err("transient")
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(r, Ok(4));
+        assert_eq!(trace.attempts, 4);
+        // 1000 * 3^0, *3^1, then capped: min(9000,10000)=9000.
+        assert_eq!(trace.delays_ns, vec![1_000, 3_000, 9_000]);
+        // Sleeps advanced the fake clock by exactly the backoff total.
+        assert_eq!(trace.end_ns - trace.start_ns, 13_000);
+        assert_eq!(fails.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn attempts_are_bounded_and_last_error_returned() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay_ns: 10,
+            multiplier: 2,
+            max_delay_ns: 1_000,
+        };
+        let clock = FakeClock::with_step(0);
+        let (r, trace) = policy.run(&clock, &clock, Err::<(), u32>);
+        assert_eq!(r, Err(3), "last attempt's error surfaces");
+        assert_eq!(trace.attempts, 3);
+        assert_eq!(trace.delays_ns, vec![10, 20], "no sleep after the give-up");
+    }
+
+    #[test]
+    fn delay_cap_applies() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay_ns: 1_000,
+            multiplier: 10,
+            max_delay_ns: 5_000,
+        };
+        assert_eq!(policy.delay_after(1), 1_000);
+        assert_eq!(policy.delay_after(2), 5_000, "capped");
+        assert_eq!(policy.delay_after(9), 5_000, "still capped, no overflow");
+    }
+
+    #[test]
+    fn zero_attempts_still_tries_once() {
+        let policy = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        let clock = FakeClock::with_step(0);
+        let (r, trace) = policy.run(&clock, &clock, |_| Ok::<_, ()>(1));
+        assert_eq!(r, Ok(1));
+        assert_eq!(trace.attempts, 1);
+    }
+
+    #[test]
+    fn no_retries_policy_fails_fast() {
+        let clock = FakeClock::with_step(0);
+        let (r, trace) = RetryPolicy::no_retries().run(&clock, &clock, |_| Err::<(), _>("x"));
+        assert_eq!(r, Err("x"));
+        assert_eq!(trace.attempts, 1);
+        assert_eq!(trace.slept_ns(), 0);
+    }
+}

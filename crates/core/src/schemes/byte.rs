@@ -59,20 +59,39 @@ impl BlockCodec for ByteCodec {
         let syms = self
             .decoder
             .decode_n_counted(&mut r, num_ops * OP_BYTES, counts)?;
-        let mut out = Vec::with_capacity(num_ops);
-        for chunk in syms.chunks_exact(OP_BYTES) {
-            let mut w = [0u8; 8];
-            for (byte, &sym) in w.iter_mut().zip(chunk) {
-                *byte = sym as u8;
-            }
-            out.push(u64::from_le_bytes(w));
-        }
-        Ok(out)
+        Ok(words_from_byte_syms(&syms, num_ops))
+    }
+
+    fn decode_block_reference(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
+        let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
+        let syms = self
+            .decoder
+            .reference()
+            .decode_n(&mut r, num_ops * OP_BYTES)?;
+        Ok(words_from_byte_syms(&syms, num_ops))
     }
 
     fn dictionary_image(&self) -> Vec<u8> {
         self.decoder.table_image()
     }
+}
+
+/// Reassembles 40-bit op words from their decoded little-endian bytes.
+fn words_from_byte_syms(syms: &[u32], num_ops: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(num_ops);
+    for chunk in syms.chunks_exact(OP_BYTES) {
+        let mut w = [0u8; 8];
+        for (byte, &sym) in w.iter_mut().zip(chunk) {
+            *byte = sym as u8;
+        }
+        out.push(u64::from_le_bytes(w));
+    }
+    out
 }
 
 impl Scheme for ByteScheme {

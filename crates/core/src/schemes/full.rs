@@ -52,15 +52,18 @@ impl BlockCodec for FullCodec {
     ) -> Result<Vec<u64>, BlockDecodeError> {
         let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
         let syms = self.decoder.decode_n_counted(&mut r, num_ops, counts)?;
-        let mut out = Vec::with_capacity(num_ops);
-        for sym in syms {
-            let word = self
-                .values
-                .get(sym as usize)
-                .ok_or(BlockDecodeError::BadValue { field: "op symbol" })?;
-            out.push(*word);
-        }
-        Ok(out)
+        self.lookup_words(&syms)
+    }
+
+    fn decode_block_reference(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
+        let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
+        let syms = self.decoder.reference().decode_n(&mut r, num_ops)?;
+        self.lookup_words(&syms)
     }
 
     fn dictionary_image(&self) -> Vec<u8> {
@@ -69,6 +72,20 @@ impl BlockCodec for FullCodec {
             img.extend_from_slice(&v.to_le_bytes());
         }
         img
+    }
+}
+
+impl FullCodec {
+    fn lookup_words(&self, syms: &[u32]) -> Result<Vec<u64>, BlockDecodeError> {
+        let mut out = Vec::with_capacity(syms.len());
+        for &sym in syms {
+            let word = self
+                .values
+                .get(sym as usize)
+                .ok_or(BlockDecodeError::BadValue { field: "op symbol" })?;
+            out.push(*word);
+        }
+        Ok(out)
     }
 }
 

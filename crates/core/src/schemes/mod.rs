@@ -179,6 +179,27 @@ pub trait BlockCodec {
         self.decode_block(image, b, num_ops)
     }
 
+    /// [`BlockCodec::decode_block`] forced down the bit-serial
+    /// *reference* decode path, bypassing any LUT fast-path machinery.
+    /// This is the graceful-degradation fallback the fetch engine takes
+    /// when the fast path errors (DESIGN.md §13): the reference decoder
+    /// shares no lookup tables with the LUT, so a corrupted table
+    /// cannot poison both. Codecs with no LUT (Base, Tailored) keep the
+    /// default, which is just [`BlockCodec::decode_block`].
+    ///
+    /// # Errors
+    ///
+    /// [`BlockDecodeError`] when the underlying bytes are themselves
+    /// corrupt — then both paths fail and the block is genuinely lost.
+    fn decode_block_reference(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
+        self.decode_block(image, b, num_ops)
+    }
+
     /// Serializes the codec's decode tables (Huffman dictionaries,
     /// dense renumberings) into a deterministic byte image, the unit the
     /// dictionary CRC protects. Empty for codecs with no tables (Base).

@@ -54,10 +54,55 @@ impl BlockCodec for PairCodec {
         num_ops: usize,
         counts: &mut DecodeCounters,
     ) -> Result<Vec<u64>, BlockDecodeError> {
+        self.decode_block_impl(image, b, num_ops, counts, false)
+    }
+
+    fn decode_block_reference(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
+        self.decode_block_impl(image, b, num_ops, &mut DecodeCounters::default(), true)
+    }
+
+    fn dictionary_image(&self) -> Vec<u8> {
+        let mut img = self.pair_decoder.table_image();
+        for (a, c) in &self.pair_values {
+            img.extend_from_slice(&a.to_le_bytes());
+            img.extend_from_slice(&c.to_le_bytes());
+        }
+        if let Some(dec) = &self.single_decoder {
+            img.extend_from_slice(&dec.table_image());
+            for v in &self.single_values {
+                img.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        img
+    }
+}
+
+impl PairCodec {
+    /// The shared decode loop; `reference` forces both dictionaries'
+    /// symbols down the bit-serial reference decoder instead of the LUT.
+    fn decode_block_impl(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+        counts: &mut DecodeCounters,
+        reference: bool,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
         let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
         let mut out = Vec::with_capacity(num_ops);
         while out.len() + 1 < num_ops {
-            let sym = self.pair_decoder.decode_counted(&mut r, counts)?;
+            let sym = if reference {
+                self.pair_decoder
+                    .reference()
+                    .decode_counted(&mut r, counts)?
+            } else {
+                self.pair_decoder.decode_counted(&mut r, counts)?
+            };
             let (a, c) = *self
                 .pair_values
                 .get(sym as usize)
@@ -74,7 +119,11 @@ impl BlockCodec for PairCodec {
                 .ok_or(BlockDecodeError::BadValue {
                     field: "singles table",
                 })?;
-            let sym = dec.decode_counted(&mut r, counts)?;
+            let sym = if reference {
+                dec.reference().decode_counted(&mut r, counts)?
+            } else {
+                dec.decode_counted(&mut r, counts)?
+            };
             let v = self
                 .single_values
                 .get(sym as usize)
@@ -84,21 +133,6 @@ impl BlockCodec for PairCodec {
             out.push(*v);
         }
         Ok(out)
-    }
-
-    fn dictionary_image(&self) -> Vec<u8> {
-        let mut img = self.pair_decoder.table_image();
-        for (a, c) in &self.pair_values {
-            img.extend_from_slice(&a.to_le_bytes());
-            img.extend_from_slice(&c.to_le_bytes());
-        }
-        if let Some(dec) = &self.single_decoder {
-            img.extend_from_slice(&dec.table_image());
-            for v in &self.single_values {
-                img.extend_from_slice(&v.to_le_bytes());
-            }
-        }
-        img
     }
 }
 

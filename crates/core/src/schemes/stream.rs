@@ -153,23 +153,16 @@ impl BlockCodec for StreamCodec {
         num_ops: usize,
         counts: &mut DecodeCounters,
     ) -> Result<Vec<u64>, BlockDecodeError> {
-        let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
-        let mut out = Vec::with_capacity(num_ops);
-        for _ in 0..num_ops {
-            let mut word = 0u64;
-            for (si, dec) in self.decoders.iter().enumerate() {
-                let (off, _) = self.config.stream_bits(si);
-                let sym = dec.decode_counted(&mut r, counts)?;
-                let v = self.values[si]
-                    .get(sym as usize)
-                    .ok_or(BlockDecodeError::BadValue {
-                        field: "stream symbol",
-                    })?;
-                word |= v << off;
-            }
-            out.push(word);
-        }
-        Ok(out)
+        self.decode_block_impl(image, b, num_ops, counts, false)
+    }
+
+    fn decode_block_reference(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
+        self.decode_block_impl(image, b, num_ops, &mut DecodeCounters::default(), true)
     }
 
     fn dictionary_image(&self) -> Vec<u8> {
@@ -181,6 +174,41 @@ impl BlockCodec for StreamCodec {
             }
         }
         img
+    }
+}
+
+impl StreamCodec {
+    /// The shared decode loop; `reference` forces every stream's symbols
+    /// down the bit-serial reference decoder instead of the LUT.
+    fn decode_block_impl(
+        &self,
+        image: &EncodedProgram,
+        b: usize,
+        num_ops: usize,
+        counts: &mut DecodeCounters,
+        reference: bool,
+    ) -> Result<Vec<u64>, BlockDecodeError> {
+        let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
+        let mut out = Vec::with_capacity(num_ops);
+        for _ in 0..num_ops {
+            let mut word = 0u64;
+            for (si, dec) in self.decoders.iter().enumerate() {
+                let (off, _) = self.config.stream_bits(si);
+                let sym = if reference {
+                    dec.reference().decode_counted(&mut r, counts)?
+                } else {
+                    dec.decode_counted(&mut r, counts)?
+                };
+                let v = self.values[si]
+                    .get(sym as usize)
+                    .ok_or(BlockDecodeError::BadValue {
+                        field: "stream symbol",
+                    })?;
+                word |= v << off;
+            }
+            out.push(word);
+        }
+        Ok(out)
     }
 }
 

@@ -9,7 +9,8 @@ use crate::cache::{BankedCache, CacheConfig};
 use crate::gshare::Gshare;
 use crate::penalty::{Outcome, PenaltyTable};
 use crate::power::BusModel;
-use ccc_core::schemes::BlockCodec;
+use ccc_core::failpoint::{sites, Failpoints};
+use ccc_core::schemes::{BlockCodec, BlockDecodeError};
 use ccc_core::{AddressTranslationTable, EncodedProgram};
 use ccc_telemetry::{EventCounts, FetchEventKind, MetricsRegistry, TraceEvent, TraceSink};
 use tepic_isa::Program;
@@ -269,6 +270,11 @@ pub struct DecodeStats {
     /// Total codeword bits consumed — one Figure-9 tree level per bit,
     /// so this is the modelled serial-decoder stall-cycle count.
     pub stall_bits: u64,
+    /// Whole-block decodes whose LUT fast path errored and were retried
+    /// one-shot through the bit-serial reference decoder (graceful
+    /// degradation, DESIGN.md §13). A block only lands in
+    /// `decode_errors` if the reference path failed too.
+    pub reference_fallbacks: u64,
 }
 
 impl DecodeStats {
@@ -280,6 +286,7 @@ impl DecodeStats {
             ("decode.decode_errors", self.decode_errors),
             ("decode.long_fallbacks", self.long_fallbacks),
             ("decode.stall_bits", self.stall_bits),
+            ("decode.reference_fallbacks", self.reference_fallbacks),
         ] {
             registry.counter(name).add(v);
         }
@@ -311,7 +318,7 @@ pub fn simulate_with_att(
     trace: &BlockTrace,
     config: &FetchConfig,
 ) -> FetchResult {
-    simulate_inner(program, image, att, trace, config, None, None)
+    simulate_inner(program, image, att, trace, config, None, None, None)
 }
 
 /// [`simulate`] with structured event tracing: every per-block pipeline
@@ -329,7 +336,7 @@ pub fn simulate_traced(
     sink: &mut dyn TraceSink,
 ) -> FetchResult {
     let att = AddressTranslationTable::build(program, image);
-    simulate_inner(program, image, &att, trace, config, None, Some(sink))
+    simulate_inner(program, image, &att, trace, config, None, None, Some(sink))
 }
 
 /// [`simulate_decoded`] with structured event tracing — see
@@ -352,6 +359,7 @@ pub fn simulate_decoded_traced(
         trace,
         config,
         Some((codec, &mut stats)),
+        None,
         Some(sink),
     );
     (r, stats)
@@ -379,6 +387,37 @@ pub fn simulate_decoded(
         trace,
         config,
         Some((codec, &mut stats)),
+        None,
+        None,
+    );
+    (r, stats)
+}
+
+/// [`simulate_decoded`] with a [`Failpoints`] registry armed on the LUT
+/// decode fast path (site `decode.lut`): each injected fault forces the
+/// primary decode to error, exercising the one-shot fallback to the
+/// bit-serial reference decoder. The [`FetchResult`] is identical to
+/// the clean run's — degradation changes *how* a block is decoded,
+/// never what the fetch path observes — while
+/// [`DecodeStats::reference_fallbacks`] records every rescue.
+pub fn simulate_decoded_injected(
+    program: &Program,
+    image: &EncodedProgram,
+    trace: &BlockTrace,
+    config: &FetchConfig,
+    codec: &dyn BlockCodec,
+    failpoints: &Failpoints,
+) -> (FetchResult, DecodeStats) {
+    let att = AddressTranslationTable::build(program, image);
+    let mut stats = DecodeStats::default();
+    let r = simulate_inner(
+        program,
+        image,
+        &att,
+        trace,
+        config,
+        Some((codec, &mut stats)),
+        Some(failpoints),
         None,
     );
     (r, stats)
@@ -414,6 +453,7 @@ fn simulate_inner(
     trace: &BlockTrace,
     config: &FetchConfig,
     mut decode: Option<(&dyn BlockCodec, &mut DecodeStats)>,
+    failpoints: Option<&Failpoints>,
     sink: Option<&mut dyn TraceSink>,
 ) -> FetchResult {
     let mut tracer = sink.map(|sink| Tracer {
@@ -538,7 +578,23 @@ fn simulate_inner(
             if let Some((codec, stats)) = decode.as_mut() {
                 stats.blocks_decoded += 1;
                 let mut counters = DecodeCounters::default();
-                match codec.decode_block_counted(image, cur as usize, info.num_ops, &mut counters) {
+                let primary = if failpoints.is_some_and(|fp| fp.check(sites::DECODE_LUT).is_some())
+                {
+                    Err(BlockDecodeError::BadValue {
+                        field: "injected failpoint: decode.lut",
+                    })
+                } else {
+                    codec.decode_block_counted(image, cur as usize, info.num_ops, &mut counters)
+                };
+                let decoded = primary.or_else(|_| {
+                    // Graceful degradation: one-shot retry down the
+                    // bit-serial reference path, which shares no lookup
+                    // tables with the LUT. A block is only an error if
+                    // both paths reject it (genuinely corrupt bytes).
+                    stats.reference_fallbacks += 1;
+                    codec.decode_block_reference(image, cur as usize, info.num_ops)
+                });
+                match decoded {
                     Ok(words) => {
                         stats.ops_decoded += words.len() as u64;
                         let ok = words
@@ -932,6 +988,35 @@ mod tests {
             stats.decode_errors > 0,
             "flipped payload bit must surface as a decode error"
         );
+    }
+
+    #[test]
+    fn injected_lut_faults_fall_back_to_reference_decoder() {
+        let s = loopy();
+        let out = FullScheme::default().compress(&s.program).unwrap();
+        let (clean, clean_stats) = simulate_decoded(
+            &s.program,
+            &out.image,
+            &s.trace,
+            &FetchConfig::compressed(),
+            out.codec.as_ref(),
+        );
+        let fp = ccc_core::Failpoints::from_spec("decode.lut:1.0:error", 7).unwrap();
+        let (healed, stats) = simulate_decoded_injected(
+            &s.program,
+            &out.image,
+            &s.trace,
+            &FetchConfig::compressed(),
+            out.codec.as_ref(),
+            &fp,
+        );
+        // Every block decode hit the injected fault and degraded to the
+        // bit-serial reference path, with no visible effect on the run.
+        assert_eq!(healed, clean);
+        assert_eq!(stats.reference_fallbacks, stats.blocks_decoded);
+        assert_eq!(stats.blocks_decoded, clean_stats.blocks_decoded);
+        assert_eq!(stats.reference_fallbacks, fp.total_fired());
+        assert_eq!(stats.decode_errors, 0);
     }
 
     #[test]

@@ -4,6 +4,14 @@
 //! anchor read once at construction); tests inject a [`FakeClock`] that
 //! advances by a fixed step per read, making wall-clock-derived metrics
 //! deterministic and assertable.
+//!
+//! The companion [`Sleeper`] trait is the write side of the same idea:
+//! code that must *wait* (retry backoff, most prominently) sleeps
+//! through a trait object instead of calling [`std::thread::sleep`]
+//! directly. Production uses [`ThreadSleeper`]; tests hand the same
+//! [`FakeClock`] in as the sleeper, so a "sleep" simply advances the
+//! fake time and the exact backoff schedule becomes assertable without
+//! any real waiting.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,6 +82,36 @@ impl Clock for FakeClock {
     }
 }
 
+/// A source of delay: retry backoff and other deliberate waits go
+/// through this trait so tests can replace real sleeping with fake-time
+/// advancement.
+pub trait Sleeper: Send + Sync + fmt::Debug {
+    /// Blocks (or pretends to block) for `ns` nanoseconds.
+    fn sleep_ns(&self, ns: u64);
+}
+
+/// The production sleeper: an actual [`std::thread::sleep`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep_ns(&self, ns: u64) {
+        if ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(ns));
+        }
+    }
+}
+
+/// Sleeping on a [`FakeClock`] advances the fake time by exactly the
+/// requested amount — no real wait — so a test that injects the same
+/// `FakeClock` as both [`Clock`] and [`Sleeper`] observes retry
+/// schedules in exact, deterministic nanoseconds.
+impl Sleeper for FakeClock {
+    fn sleep_ns(&self, ns: u64) {
+        self.advance(ns);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +131,20 @@ mod tests {
         assert_eq!(c.now_ns(), 20);
         c.advance(100);
         assert_eq!(c.now_ns(), 130);
+    }
+
+    #[test]
+    fn fake_clock_sleep_advances_fake_time() {
+        let c = FakeClock::with_step(0);
+        c.sleep_ns(500);
+        c.sleep_ns(250);
+        assert_eq!(c.now_ns(), 750);
+    }
+
+    #[test]
+    fn thread_sleeper_zero_is_instant() {
+        // Smoke only: must not panic or block forever.
+        ThreadSleeper.sleep_ns(0);
+        ThreadSleeper.sleep_ns(1);
     }
 }

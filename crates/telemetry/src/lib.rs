@@ -34,7 +34,7 @@ pub mod json;
 pub mod registry;
 pub mod trace;
 
-pub use clock::{Clock, FakeClock, MonotonicClock};
+pub use clock::{Clock, FakeClock, MonotonicClock, Sleeper, ThreadSleeper};
 pub use export::{chrome_trace_json, metrics_snapshot_json, TraceMeta};
 pub use json::{parse_json, JsonError, JsonValue};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};

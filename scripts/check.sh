@@ -35,6 +35,15 @@ CCC_TRACE_SMOKE=1 ./target/release/tepic-cc trace --workload li --scheme full \
 rm -rf "$CCC_TRACE_DIR"
 echo "trace reconciles with metrics snapshot"
 
+echo "==> chaos self-healing smoke"
+# CCC_CHAOS_SMOKE=1 runs one reduced chaos campaign: the full figure
+# pipeline under injected cache/pool/stage/decode faults must emit
+# byte-identical figures, reconcile every injected fault against a
+# recovery action, and cover every site class. The verdict lands in
+# results/CHAOS_report.json (uploaded by CI).
+CCC_CHAOS_SMOKE=1 ./target/release/tepic-cc chaos --seed 42 >/dev/null
+echo "figures byte-identical under fault injection; recovery reconciled"
+
 echo "==> decode throughput smoke"
 # Short measurement; exits non-zero if the LUT decode path regresses
 # below the bit-serial reference on the byte scheme. Also refreshes

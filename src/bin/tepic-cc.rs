@@ -10,6 +10,7 @@
 //! tepic-cc faultsim <file.tink>       fault-injection campaign over all schemes
 //! tepic-cc bench [options]            the whole figure suite in one invocation
 //! tepic-cc trace [options]            Chrome-trace + metrics snapshot of one run
+//! tepic-cc chaos [options]            self-healing audit under injected faults
 //! ```
 //!
 //! With `-` as the file, source is read from stdin. `--no-opt` disables
@@ -45,6 +46,23 @@
 //! emulate and encode spans appear in the trace; the metrics snapshot
 //! lands in `results/METRICS_<scheme>.json`. `CCC_TRACE_SMOKE=1` in the
 //! environment implies `--check`.
+//!
+//! `chaos` options (DESIGN.md §13):
+//!
+//! ```text
+//! --seed <u64>      base PRNG seed; run r uses seed+r (default 42)
+//! --sites <spec>    failpoint spec, site:prob:mode[,..] (default: all classes)
+//! --runs <N>        chaos runs after the clean baseline (default 2)
+//! --jobs <N>        worker threads (default: all cores; CCC_JOBS)
+//! --out <file>      report path (default results/CHAOS_report.json)
+//! ```
+//!
+//! Each chaos run replays the full figure pipeline twice (a cold pass
+//! on a scratch cache, then a warm pass over the survivors) with faults
+//! injected at every registered site, then decodes every workload with
+//! LUT faults forced. The run passes only if every figure is
+//! byte-identical to the clean baseline and the `recover.*` counters
+//! reconcile one-for-one against the injection log.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -61,7 +79,9 @@ fn usage() -> ExitCode {
          [--no-opt] [--seed <u64>]\n\
          \x20      tepic-cc bench [--jobs <N>] [--no-cache] [--cache-dir <dir>] \
          [--figures <a,b,..>] [--all] [--assert-warm]\n\
-         \x20      tepic-cc trace --workload <name> [--scheme <s>] [--out <file>] [--check]"
+         \x20      tepic-cc trace --workload <name> [--scheme <s>] [--out <file>] [--check]\n\
+         \x20      tepic-cc chaos [--seed <u64>] [--sites <spec>] [--runs <N>] [--jobs <N>] \
+         [--out <file>]"
     );
     ExitCode::from(2)
 }
@@ -73,6 +93,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("trace") {
         return trace_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("chaos") {
+        return chaos_cmd(&args[1..]);
     }
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) => (c.as_str(), f.as_str()),
@@ -670,6 +693,420 @@ fn trace_cmd(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The default chaos fault mix: every site class the engine registers,
+/// at rates high enough to guarantee coverage over a full figure run
+/// yet far below the retry budget's give-up horizon.
+const DEFAULT_CHAOS_SITES: &str = "cache.read:0.2:io,cache.read:0.15:corrupt,\
+                                   cache.write:0.2:io,cache.rename:0.1:io,\
+                                   pool.job:0.1:panic,stage.compile:0.2:flaky,\
+                                   stage.emulate:0.15:flaky,stage.encode:0.2:flaky,\
+                                   stage.report:0.15:flaky,decode.lut:0.5:error";
+
+/// Silences panic output for injected `pool.job` faults (the isolated
+/// pool catches them; the default hook's backtraces would drown the
+/// chaos summary) while leaving real panics loud.
+fn quiet_injected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str));
+        if msg.is_some_and(|m| m.contains("injected failpoint")) {
+            return;
+        }
+        default_hook(info);
+    }));
+}
+
+/// Renders the core figure suite to one comparable string.
+fn figure_suite_text(prepared: &[Prepared], reports: &[CompressionReport]) -> String {
+    let mut s = String::new();
+    for name in CORE_FIGURES {
+        s.push_str("==================== ");
+        s.push_str(name);
+        s.push_str(" ====================\n");
+        s.push_str(&render_figure(name, prepared, reports).expect("core figure"));
+        s.push('\n');
+    }
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn chaos_cmd(args: &[String]) -> ExitCode {
+    use std::sync::Arc;
+    use tepic_ccc::bench::engine::RecoverySnapshot;
+    use tepic_ccc::ccc::failpoint::{class_of, sites, FailMode, Failpoints, REQUIRED_CLASSES};
+
+    let mut seed = 42u64;
+    let mut sites_spec = DEFAULT_CHAOS_SITES.to_string();
+    // CCC_CHAOS_SMOKE=1 is the CI gate: one chaos run, same assertions.
+    let mut runs = if std::env::var("CCC_CHAOS_SMOKE").is_ok_and(|v| v == "1") {
+        1
+    } else {
+        2
+    };
+    let mut jobs: Option<usize> = None;
+    let mut out_path = "results/CHAOS_report.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) => seed = s,
+                _ => {
+                    eprintln!("tepic-cc chaos: --seed wants an unsigned 64-bit integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--sites" => match it.next() {
+                Some(s) => sites_spec = s.clone(),
+                None => {
+                    eprintln!("tepic-cc chaos: --sites needs a site:prob:mode[,..] spec");
+                    return ExitCode::from(2);
+                }
+            },
+            "--runs" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => runs = n,
+                _ => {
+                    eprintln!("tepic-cc chaos: --runs wants a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => jobs = Some(n),
+                _ => {
+                    eprintln!("tepic-cc chaos: --jobs wants a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("tepic-cc chaos: --out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("tepic-cc chaos: unknown option {other}");
+                return usage();
+            }
+        }
+    }
+    if let Err(e) = Failpoints::from_spec(&sites_spec, 0) {
+        eprintln!("tepic-cc chaos: --sites: {e}");
+        return ExitCode::from(2);
+    }
+    let jobs = jobs
+        .or_else(|| {
+            std::env::var("CCC_JOBS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        })
+        .unwrap_or_else(tepic_ccc::bench::engine::default_jobs);
+    quiet_injected_panics();
+    let root = std::path::Path::new("target/ccc-chaos");
+
+    // One pass of the full figure pipeline: fresh engine over `dir`,
+    // optionally with an armed failpoint registry.
+    let pass = |dir: &std::path::Path,
+                fp: Option<&Arc<Failpoints>>|
+     -> Result<(Vec<Prepared>, String, RecoverySnapshot), String> {
+        let engine = Engine::with_cache_dir(jobs, dir)
+            .map_err(|e| format!("cannot open cache at {}: {e}", dir.display()))?;
+        let engine = match fp {
+            Some(fp) => engine.with_failpoints(Arc::clone(fp)),
+            None => engine,
+        };
+        let prepared = engine.prepare_all().map_err(|e| e.to_string())?;
+        let reports = engine.reports(&prepared);
+        let text = figure_suite_text(&prepared, &reports);
+        Ok((prepared, text, engine.recovery()))
+    };
+
+    // The decode phase: the real decompressor over every workload's
+    // full-Huffman image, with LUT faults injected when `fp` is armed.
+    let decode_all = |prepared: &[Prepared],
+                      fp: Option<&Failpoints>|
+     -> Result<(Vec<FetchResult>, u64), String> {
+        let mut out = Vec::with_capacity(prepared.len());
+        let mut fallbacks = 0u64;
+        for p in prepared {
+            let full = schemes::full::FullScheme::default()
+                .compress(&p.program)
+                .map_err(|e| format!("{}: compress: {e}", p.workload.name))?;
+            let cfg = FetchConfig::compressed();
+            let (r, ds) = match fp {
+                Some(fp) => simulate_decoded_injected(
+                    &p.program,
+                    &full.image,
+                    &p.trace,
+                    &cfg,
+                    full.codec.as_ref(),
+                    fp,
+                ),
+                None => {
+                    simulate_decoded(&p.program, &full.image, &p.trace, &cfg, full.codec.as_ref())
+                }
+            };
+            fallbacks += ds.reference_fallbacks;
+            out.push(r);
+        }
+        Ok((out, fallbacks))
+    };
+
+    // Clean baseline: a cold run with no faults armed.
+    eprintln!("tepic-cc chaos: baseline (jobs={jobs}, sites={sites_spec})");
+    let clean_dir = root.join("clean");
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let (clean_prepared, baseline, _) = match pass(&clean_dir, None) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("tepic-cc chaos: baseline failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (clean_decode, _) = match decode_all(&clean_prepared, None) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("tepic-cc chaos: baseline decode failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let t0 = Instant::now();
+    let mut all_ok = true;
+    let mut coverage: Vec<(&'static str, u64)> = Vec::new();
+    let mut run_jsons = Vec::new();
+    for r in 0..runs {
+        let run_seed = seed.wrapping_add(r as u64);
+        let fp = match Failpoints::from_spec(&sites_spec, run_seed) {
+            Ok(fp) => Arc::new(fp),
+            Err(e) => {
+                eprintln!("tepic-cc chaos: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let dir = root.join(format!("run-{r}"));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Cold pass builds everything under fire; the warm pass re-reads
+        // whatever survived, exercising the cache.read sites on real
+        // entries; the decode phase forces the LUT fallback path.
+        let mut error = String::new();
+        let mut cold_identical = false;
+        let mut warm_identical = false;
+        let mut decode_identical = false;
+        let mut fallbacks = 0u64;
+        let mut recs: Vec<RecoverySnapshot> = Vec::new();
+        match pass(&dir, Some(&fp)) {
+            Err(e) => error = format!("cold pass: {e}"),
+            Ok((prepared, text, rec)) => {
+                cold_identical = text == baseline;
+                recs.push(rec);
+                match decode_all(&prepared, Some(&fp)) {
+                    Err(e) => error = format!("decode: {e}"),
+                    Ok((results, fb)) => {
+                        decode_identical = results == clean_decode;
+                        fallbacks = fb;
+                        match pass(&dir, Some(&fp)) {
+                            Err(e) => error = format!("warm pass: {e}"),
+                            Ok((_, text, rec)) => {
+                                warm_identical = text == baseline;
+                                recs.push(rec);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Reconcile: every injected fault must be accounted for by
+        // exactly one recovery action (DESIGN.md §13).
+        let rsum = |f: fn(&RecoverySnapshot) -> u64| recs.iter().map(f).sum::<u64>();
+        let stage_fired: u64 = [
+            sites::STAGE_COMPILE,
+            sites::STAGE_EMULATE,
+            sites::STAGE_ENCODE,
+            sites::STAGE_REPORT,
+        ]
+        .iter()
+        .map(|s| fp.fired(s, FailMode::Flaky))
+        .sum();
+        let checks: [(&str, u64, u64); 6] = [
+            (
+                "cache.read:io == transient read faults",
+                fp.fired(sites::CACHE_READ, FailMode::Io),
+                rsum(|x| x.cache_read_faults),
+            ),
+            (
+                "cache.read:corrupt == quarantined entries",
+                fp.fired(sites::CACHE_READ, FailMode::Corrupt),
+                rsum(|x| x.quarantined),
+            ),
+            (
+                "cache.{write,rename}:io == failed store attempts",
+                fp.fired(sites::CACHE_WRITE, FailMode::Io)
+                    + fp.fired(sites::CACHE_RENAME, FailMode::Io),
+                rsum(|x| x.cache_write_faults),
+            ),
+            (
+                "pool.job:panic == caught job panics",
+                fp.fired(sites::POOL_JOB, FailMode::Panic),
+                rsum(|x| x.job_panics),
+            ),
+            (
+                "stage.*:flaky == stage faults retried",
+                stage_fired,
+                rsum(|x| x.stage_faults),
+            ),
+            (
+                "decode.lut:error == reference fallbacks",
+                fp.fired(sites::DECODE_LUT, FailMode::Error),
+                fallbacks,
+            ),
+        ];
+        let reconciled = checks.iter().all(|&(_, inj, rec)| inj == rec);
+        for &(name, inj, rec) in &checks {
+            if inj != rec {
+                eprintln!(
+                    "tepic-cc chaos: run {r}: MISMATCH {name}: injected {inj}, recovered {rec}"
+                );
+            }
+        }
+
+        // Injection census for the report, and class coverage.
+        let log = fp.log();
+        let mut census: Vec<(String, u64)> = Vec::new();
+        for inj in &log {
+            let key = format!("{}:{}", inj.site, inj.mode);
+            match census.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => *n += 1,
+                None => census.push((key, 1)),
+            }
+            let class = class_of(&inj.site);
+            match coverage.iter_mut().find(|(c, _)| *c == class) {
+                Some((_, n)) => *n += 1,
+                None => coverage.push((class, 1)),
+            }
+        }
+        census.sort();
+
+        let ok =
+            error.is_empty() && cold_identical && warm_identical && decode_identical && reconciled;
+        all_ok &= ok;
+        let verdict = |b: bool| if b { "identical" } else { "DIVERGED" };
+        if error.is_empty() {
+            println!(
+                "chaos run {}/{runs} (seed {run_seed}): {} faults injected; figures cold={} warm={} decode={}; {}",
+                r + 1,
+                log.len(),
+                verdict(cold_identical),
+                verdict(warm_identical),
+                verdict(decode_identical),
+                if reconciled { "reconciled" } else { "NOT RECONCILED" },
+            );
+        } else {
+            println!(
+                "chaos run {}/{runs} (seed {run_seed}): FAILED: {error}",
+                r + 1
+            );
+        }
+
+        let recovery_totals: [(&str, u64); 11] = [
+            ("cache_read_faults", rsum(|x| x.cache_read_faults)),
+            ("cache_read_giveups", rsum(|x| x.cache_read_giveups)),
+            ("quarantined", rsum(|x| x.quarantined)),
+            ("cache_write_faults", rsum(|x| x.cache_write_faults)),
+            ("cache_write_giveups", rsum(|x| x.cache_write_giveups)),
+            ("job_panics", rsum(|x| x.job_panics)),
+            ("job_retries", rsum(|x| x.job_retries)),
+            ("job_giveups", rsum(|x| x.job_giveups)),
+            ("stage_faults", rsum(|x| x.stage_faults)),
+            ("stage_giveups", rsum(|x| x.stage_giveups)),
+            ("reference_fallbacks", fallbacks),
+        ];
+        let injected_json = census
+            .iter()
+            .map(|(k, n)| format!("\"{}\": {n}", json_escape(k)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let recovery_json = recovery_totals
+            .iter()
+            .map(|(k, n)| format!("\"{k}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        run_jsons.push(format!(
+            "    {{\n      \"seed\": {run_seed},\n      \"ok\": {ok},\n      \
+             \"error\": \"{}\",\n      \"figures_cold_identical\": {cold_identical},\n      \
+             \"figures_warm_identical\": {warm_identical},\n      \
+             \"decode_identical\": {decode_identical},\n      \
+             \"reconciled\": {reconciled},\n      \"total_injected\": {},\n      \
+             \"injected\": {{{injected_json}}},\n      \"recovery\": {{{recovery_json}}}\n    }}",
+            json_escape(&error),
+            log.len(),
+        ));
+    }
+
+    // Campaign-wide coverage: every required site class must have fired
+    // at least once, or the run proved nothing about that class.
+    coverage.sort();
+    let mut missing = Vec::new();
+    for class in REQUIRED_CLASSES {
+        if !coverage.iter().any(|&(c, n)| c == class && n > 0) {
+            missing.push(class);
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!("tepic-cc chaos: no injected faults in class(es): {missing:?}");
+        all_ok = false;
+    }
+    let coverage_json = coverage
+        .iter()
+        .map(|(c, n)| format!("\"{c}\": {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let report = format!(
+        "{{\n  \"seed\": {seed},\n  \"runs\": {runs},\n  \"jobs\": {jobs},\n  \
+         \"sites\": \"{}\",\n  \"figures\": [{}],\n  \"coverage\": {{{coverage_json}}},\n  \
+         \"runs_detail\": [\n{}\n  ],\n  \"ok\": {all_ok}\n}}\n",
+        json_escape(&sites_spec),
+        CORE_FIGURES
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        run_jsons.join(",\n"),
+    );
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("tepic-cc chaos: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "chaos: {} run(s) in {:.1} s; coverage {:?}; report -> {out_path}",
+        runs,
+        t0.elapsed().as_secs_f64(),
+        coverage,
+    );
+    if all_ok {
+        println!("chaos: all figures byte-identical under fault injection; recovery reconciled.");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("tepic-cc chaos: FAILED (see {out_path})");
+        ExitCode::FAILURE
+    }
 }
 
 /// Cross-checks an emitted Chrome trace against its metrics snapshot:
