@@ -173,6 +173,67 @@ mod tests {
     }
 
     #[test]
+    fn sys_ops_counted_exactly() {
+        // Straight-line code: each putc lowers to exactly one Sys op,
+        // the implicit halt is the only Control op, and with a single
+        // always-executed block the dynamic mix equals the static one.
+        let p = compile("fn main() { putc(65); putc(66); putc(67); }");
+        let stat = OpMix::static_mix(&p);
+        assert_eq!(stat.count(OpCategory::Sys), 3);
+        assert_eq!(stat.count(OpCategory::Control), 1, "just the halt");
+        assert_eq!(stat.count(OpCategory::Compare), 0);
+        let run = Emulator::new(&p).run(&Limits::default()).unwrap();
+        assert_eq!(OpMix::dynamic_mix(&p, &run.trace), stat);
+    }
+
+    #[test]
+    fn control_edge_kinds_all_count() {
+        // Call + ret + halt are the three Control ops in a single-call
+        // program — branches, calls, returns and halts share a bucket.
+        let p = compile("fn h(a, b) { return (a + b); }\nfn main() { print(h(1, 2)); }");
+        let stat = OpMix::static_mix(&p);
+        assert_eq!(stat.count(OpCategory::Control), 3, "call + ret + halt");
+        assert_eq!(stat.count(OpCategory::Sys), 1, "the print");
+        let run = Emulator::new(&p).run(&Limits::default()).unwrap();
+        assert_eq!(OpMix::dynamic_mix(&p, &run.trace), stat);
+    }
+
+    #[test]
+    fn dead_code_splits_static_from_dynamic() {
+        // A never-called function sits in the image (static mix sees its
+        // float ops and its ret) but never executes: the dynamic mix
+        // must report zero for it.
+        let p = compile(
+            "fn dead(a) { fvar x = 1.5; return int((float(a) * x)); }\nfn main() { putc(65); }",
+        );
+        let run = Emulator::new(&p).run(&Limits::default()).unwrap();
+        let stat = OpMix::static_mix(&p);
+        let dy = OpMix::dynamic_mix(&p, &run.trace);
+        assert_eq!(stat.count(OpCategory::Float), 3, "cvt + mul + cvt");
+        assert_eq!(dy.count(OpCategory::Float), 0, "dead code never runs");
+        assert_eq!(stat.count(OpCategory::Control), 2, "halt + dead ret");
+        assert_eq!(dy.count(OpCategory::Control), 1, "only the halt runs");
+    }
+
+    #[test]
+    fn loop_trip_count_weights_the_dynamic_mix() {
+        // One static store in the loop body executes once per iteration;
+        // the compare guarding the loop runs trips+1 times (ten entries
+        // plus the failing exit check).
+        let p = compile(
+            "global a[16];\nfn main() { var i; for (i = 0; i < 10; i = (i + 1)) { a[i] = i; } }",
+        );
+        let run = Emulator::new(&p).run(&Limits::default()).unwrap();
+        let stat = OpMix::static_mix(&p);
+        let dy = OpMix::dynamic_mix(&p, &run.trace);
+        assert_eq!(stat.count(OpCategory::Store), 1);
+        assert_eq!(dy.count(OpCategory::Store), 10, "one store per trip");
+        assert_eq!(stat.count(OpCategory::Compare), 1);
+        assert_eq!(dy.count(OpCategory::Compare), 11, "trips + exit check");
+        assert_eq!(dy.total(), run.stats.ops, "trace weighting is exact");
+    }
+
+    #[test]
     fn float_workload_shows_float_ops() {
         let p = compile(
             "fn main() { fvar x = 1.0; var i; for (i = 0; i < 9; i = i + 1) { x = x * 1.5; } print(int(x)); }",

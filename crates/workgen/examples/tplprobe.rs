@@ -1,0 +1,263 @@
+//! Scratch probe: measure the true compiled op-mix cost of each
+//! generator template by compiling a function with N copies and
+//! diffing against a baseline. Used to tune `gen.rs` signatures.
+
+use yula::opmix::{OpCategory, OpMix};
+
+fn counts(src: &str) -> [i64; 7] {
+    let p = lego::compile(src, &lego::Options::default()).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let m = OpMix::static_mix(&p);
+    let mut c = [0i64; 7];
+    for (i, &cat) in OpCategory::ALL.iter().enumerate() {
+        c[i] = m.count(cat) as i64;
+    }
+    c
+}
+
+fn wrap(body: &str) -> String {
+    format!(
+        "global gw0[256];\nglobal gw1[512];\nbglobal gb0[256];\nfglobal gf0[64];\n\
+         fn h0(a, b) {{\n var s = ((a ^ 11) + 22);\n var t = ((b * 7) ^ 33);\n{body}\n return (s + t);\n}}\n\
+         fn main() {{ print(h0(3, 4)); }}\n"
+    )
+}
+
+fn probe(name: &str, stmt_fn: impl Fn(usize) -> String) {
+    let n = 16;
+    let base = wrap("");
+    let mut body = String::new();
+    for i in 0..n {
+        body.push_str(&stmt_fn(i));
+        body.push('\n');
+    }
+    let with = wrap(&body);
+    let (b, w) = (counts(&base), counts(&with));
+    print!("{name:<10}");
+    for i in 0..7 {
+        print!(" {:>6.2}", (w[i] - b[i]) as f64 / n as f64);
+    }
+    println!();
+}
+
+fn opkind_histogram() {
+    use std::collections::BTreeMap;
+    let params = ccc_workgen::GenParams::for_flavor(ccc_workgen::Flavor::Tepic);
+    let gp = ccc_workgen::generate_program(12345, &params, "histo");
+    let p = lego::compile(&gp.source, &lego::Options::default()).unwrap();
+    let mut h: BTreeMap<String, u64> = BTreeMap::new();
+    {
+        for op in p.ops() {
+            use tepic_isa::OpKind::*;
+            let key = match &op.kind {
+                IntAlu { op, .. } => format!("IntAlu/{op:?}"),
+                IntCmp { .. } => "IntCmp".into(),
+                FloatCmp { .. } => "FloatCmp".into(),
+                LoadImm { .. } => "LoadImm".into(),
+                Float { .. } => "Float".into(),
+                CvtIf { .. } => "CvtIf".into(),
+                CvtFi { .. } => "CvtFi".into(),
+                other => format!("{other:?}")
+                    .split([' ', '{'])
+                    .next()
+                    .unwrap()
+                    .to_string(),
+            };
+            *h.entry(key).or_default() += 1;
+        }
+    }
+    let total: u64 = h.values().sum();
+    println!("generated program op histogram ({total} ops):");
+    for (k, v) in &h {
+        println!(
+            "  {k:<18} {v:>5}  {:>5.1}%",
+            100.0 * *v as f64 / total as f64
+        );
+    }
+}
+
+fn histo_of(p: &tepic_isa::Program, label: &str) {
+    use std::collections::BTreeMap;
+    let mut h: BTreeMap<String, u64> = BTreeMap::new();
+    for op in p.ops() {
+        use tepic_isa::OpKind::*;
+        let key = match &op.kind {
+            IntAlu { op, .. } => format!("IntAlu/{op:?}"),
+            IntCmp { .. } => "IntCmp".into(),
+            FloatCmp { .. } => "FloatCmp".into(),
+            LoadImm { .. } => "LoadImm".into(),
+            Float { .. } => "Float".into(),
+            CvtIf { .. } => "CvtIf".into(),
+            CvtFi { .. } => "CvtFi".into(),
+            other => format!("{other:?}")
+                .split([' ', '{'])
+                .next()
+                .unwrap()
+                .to_string(),
+        };
+        *h.entry(key).or_default() += 1;
+    }
+    let total: u64 = h.values().sum();
+    println!("{label} ({total} ops):");
+    for (k, v) in &h {
+        println!(
+            "  {k:<18} {v:>5}  {:>5.1}%",
+            100.0 * *v as f64 / total as f64
+        );
+    }
+}
+
+fn main() {
+    for name in ["compress", "gcc"] {
+        let w = tinker_workloads::by_name(name).unwrap();
+        histo_of(&w.compile().unwrap(), name);
+    }
+    opkind_histogram();
+    {
+        let b = counts(&wrap(""));
+        let total: i64 = b.iter().sum();
+        println!("baseline abs: {b:?} total {total}");
+        let one = counts("fn main() { print(3); }");
+        let t1: i64 = one.iter().sum();
+        println!("minimal main: {one:?} total {t1}");
+    }
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "template", "ialu", "cmp", "float", "load", "store", "ctrl", "sys"
+    );
+    probe("alu0", |i| {
+        format!(
+            "s = (((s * {}) + (t ^ {})) - {});",
+            2 * i + 3,
+            100 + i,
+            200 + i
+        )
+    });
+    probe("alu1", |i| {
+        format!("t = ((t + (s << {})) ^ {});", (i % 7) + 1, 300 + i)
+    });
+    probe("alu2", |i| {
+        format!("s = ((s ^ (t >> {})) + {});", (i % 7) + 1, 400 + i)
+    });
+    probe("alu3", |i| {
+        format!(
+            "t = (((t | {}) & {}) + (s * {}));",
+            10 + i,
+            500 + i,
+            2 * i + 5
+        )
+    });
+    probe("loadw0", |i| {
+        format!("t = (t + gw0[((s ^ {}) & 255)]);", 600 + i)
+    });
+    probe("loadw1", |i| {
+        format!("s = (s ^ gw1[((t + {}) & 511)]);", 700 + i)
+    });
+    probe("loadb", |i| {
+        format!("t = (t + gb0[((s + {}) & 255)]);", 800 + i)
+    });
+    probe("loadw_s", |i| {
+        format!("t = ((t + {}) + gw0[(s & 255)]);", 810 + i)
+    });
+    probe("storew0", |i| {
+        format!("gw1[((s + {}) & 511)] = (t ^ {});", 900 + i, i)
+    });
+    probe("storew1", |i| {
+        format!("gw0[((t ^ {}) & 255)] = (s + {});", 1000 + i, i)
+    });
+    probe("storeb", |i| {
+        format!("gb0[((s + {}) & 255)] = ((t + {}) & 255);", 1100 + i, i)
+    });
+    probe("float0", |i| {
+        format!(
+            "s = (s ^ int((float((s & 31)) + float(((t + {}) & 15)))));",
+            1200 + i
+        )
+    });
+    probe("float1", |i| {
+        format!("gf0[((s + {}) & 63)] = (float((t & 31)) * 0.5);", 1300 + i)
+    });
+    probe("float2", |i| {
+        format!("t = (t + int((gf0[((s ^ {}) & 63)] + 1.5)));", 1400 + i)
+    });
+    probe("sys", |i| format!("putc((65 + (s & {})));", (i % 19) + 7));
+    probe("quadload", |_i| {
+        "t = ((gw0[(s & 255)] + gw1[(t & 511)]) + (gb0[(s & 255)] - gw0[(t & 255)]));".to_string()
+    });
+    probe("triload", |_i| {
+        "s = ((gw0[(t & 255)] + gb0[(t & 255)]) + gw1[(s & 511)]);".to_string()
+    });
+    probe("dualload", |_i| {
+        "t = (gw0[(s & 255)] + gb0[(s & 255)]);".to_string()
+    });
+    probe("cheapst", |_i| "gw0[(s & 255)] = s;".to_string());
+    probe("dualst", |_i| {
+        "gw0[(s & 255)] = t; gw1[(t & 511)] = s;".to_string()
+    });
+    probe("ldst", |i| {
+        format!("gw1[(s & 511)] = (gw0[(s & 255)] + {});", 3000 + i)
+    });
+    probe("mif_alu", |i| {
+        format!("if (s < t) {{ s = (s + {}); }}", 1700 + i)
+    });
+    probe("mif_alu2", |i| {
+        format!("if (t < {}) {{ t = (t ^ (s + {})); }}", 1800 + i, i)
+    });
+    probe("mif_load", |i| {
+        format!(
+            "if ((s + {}) > t) {{ t = (t + gw0[(s & 255)]); }}",
+            1900 + i
+        )
+    });
+    probe("mif_store", |i| {
+        format!(
+            "if ((t ^ {}) > s) {{ gw1[(t & 511)] = (s + {}); }}",
+            2000 + i,
+            i
+        )
+    });
+    probe("if_then", |i| {
+        format!(
+            "if (((s & {}) + {}) < (t & {})) {{ s = (s + {}); }}",
+            (i % 61) + 3,
+            1500 + i,
+            (i % 59) + 3,
+            i
+        )
+    });
+    probe("if_else", |i| {
+        format!(
+            "if ((s & {}) > ((t ^ {}) & {})) {{ s = (s + {}); }} else {{ t = (t ^ {}); }}",
+            (i % 61) + 3,
+            1600 + i,
+            (i % 59) + 3,
+            i,
+            i
+        )
+    });
+    probe("loop", |i| {
+        format!(
+            "var z{i};\nfor (z{i} = 0; z{i} < {}; z{i} = (z{i} + 1)) {{ s = (s + (z{i} * {})); }}",
+            (i % 20) + 4,
+            2 * i + 3
+        )
+    });
+    // Call+ret overhead: measure a program with N tiny callees.
+    {
+        let n = 8;
+        let mut src = String::from("fn c0(a, b) { return (a + b); }\n");
+        let mut main = String::from("fn main() { var s = 1;\n");
+        for i in 1..=n {
+            src.push_str(&format!("fn c{i}(a, b) {{ return ((a + {i}) ^ b); }}\n"));
+            main.push_str(&format!("s = (s + c{i}(s, {i}));\n"));
+        }
+        main.push_str("print(s); }\n");
+        src.push_str(&main);
+        let c = counts(&src);
+        println!("call+fn   per-callee:");
+        print!("{:<10}", "callfn");
+        for v in c {
+            print!(" {:>6.2}", v as f64 / n as f64);
+        }
+        println!();
+    }
+}

@@ -78,6 +78,19 @@ impl Workload {
         }
     }
 
+    /// Builds a workload from owned parts by leaking them into
+    /// `'static` storage. The prepared-workload engine and the
+    /// [`ALL`] table traffic in `&'static Workload`, so dynamically
+    /// produced programs (the `ccc-workgen` synthetic corpus) go
+    /// through here; corpora are bounded, so the leak is too.
+    pub fn leaked(name: String, description: String, source: String) -> &'static Workload {
+        Box::leak(Box::new(Workload {
+            name: Box::leak(name.into_boxed_str()),
+            description: Box::leak(description.into_boxed_str()),
+            source: Box::leak(source.into_boxed_str()),
+        }))
+    }
+
     /// The Tink source text.
     pub fn source(&self) -> &'static str {
         self.source
@@ -177,6 +190,45 @@ pub fn by_name(name: &str) -> Option<&'static Workload> {
     ALL.iter().find(|w| w.name == name)
 }
 
+/// The benchmark names, comma-separated in figure order — what CLI
+/// `--workload` failure paths print so a typo'd flag reports the whole
+/// menu instead of a bare miss.
+pub fn known_names() -> String {
+    ALL.iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
+}
+
+/// A `--workload` flag naming no known benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    /// The name that missed.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown workload {}; known: {}",
+            self.name,
+            known_names()
+        )
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
+/// [`by_name`], but the failure path carries the list of known names
+/// (for CLI `--workload` flags and other user-facing lookups).
+///
+/// # Errors
+///
+/// [`UnknownWorkload`] naming the miss and every known benchmark.
+pub fn by_name_or_err(name: &str) -> Result<&'static Workload, UnknownWorkload> {
+    by_name(name).ok_or_else(|| UnknownWorkload {
+        name: name.to_string(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +318,36 @@ mod tests {
             assert_eq!(by_name(w.name).map(|x| x.name), Some(w.name));
         }
         assert!(by_name("xalancbmk").is_none());
+    }
+
+    #[test]
+    fn by_name_or_err_reports_known_names() {
+        assert_eq!(by_name_or_err("li").unwrap().name, "li");
+        let msg = by_name_or_err("xalancbmk").unwrap_err().to_string();
+        assert!(msg.contains("xalancbmk"), "names the miss: {msg}");
+        for w in &ALL {
+            assert!(msg.contains(w.name), "lists {}: {msg}", w.name);
+        }
+    }
+
+    #[test]
+    fn leaked_workload_behaves_like_static() {
+        let w = Workload::leaked(
+            "leaky".to_string(),
+            "leak test".to_string(),
+            "fn main() { print(7); }".to_string(),
+        );
+        assert_eq!(w.name, "leaky");
+        let (p, r) = w.compile_and_run().unwrap();
+        assert!(p.num_ops() > 0);
+        assert!(!r.output.is_empty());
+        // Fingerprints hash the leaked source exactly like static ones.
+        let twin = Workload::leaked(
+            "leaky".to_string(),
+            "leak test".to_string(),
+            "fn main() { print(7); }".to_string(),
+        );
+        assert_eq!(w.fingerprint(), twin.fingerprint());
     }
 
     #[test]

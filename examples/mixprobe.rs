@@ -1,0 +1,36 @@
+use tepic_ccc::prelude::*;
+use yula::opmix::{OpCategory, OpMix};
+
+fn main() {
+    let mut stat = [0u64; 7];
+    let mut dynm = [0u64; 7];
+    let mut stot = 0u64;
+    let mut dtot = 0u64;
+    for w in &workloads::ALL {
+        let (p, r) = w.compile_and_run().unwrap();
+        let s = OpMix::static_mix(&p);
+        let d = OpMix::dynamic_mix(&p, &r.trace);
+        for (i, &c) in OpCategory::ALL.iter().enumerate() {
+            stat[i] += s.count(c);
+            dynm[i] += d.count(c);
+        }
+        stot += s.total();
+        dtot += d.total();
+        println!(
+            "{:<10} ops={:>5} dyn={:>9}",
+            w.name,
+            p.num_ops(),
+            r.stats.ops
+        );
+    }
+    println!("category  static%   dynamic%");
+    for (i, c) in OpCategory::ALL.iter().enumerate() {
+        println!(
+            "{:<8} {:>7.2}  {:>7.2}",
+            c.label(),
+            100.0 * stat[i] as f64 / stot as f64,
+            100.0 * dynm[i] as f64 / dtot as f64
+        );
+    }
+    println!("total static {stot} dynamic {dtot}");
+}

@@ -44,6 +44,19 @@ echo "==> chaos self-healing smoke"
 CCC_CHAOS_SMOKE=1 ./target/release/tepic-cc chaos --seed 42 >/dev/null
 echo "figures byte-identical under fault injection; recovery reconciled"
 
+echo "==> synthetic workload generation smoke"
+# CCC_GEN_SMOKE=1 implies --campaign: generate the 10x tier (80 seeded
+# programs), push it through the prepared-workload engine (compile,
+# emulate, all five scheme encodings), run a fault campaign on the
+# first program, and fail unless every op-mix category lands within
+# 5 pp of the flavor target. The verdict lands in
+# results/GEN_report.json (uploaded by CI).
+CCC_GEN_DIR="${TMPDIR:-/tmp}/ccc-gen-smoke-$$"
+CCC_GEN_SMOKE=1 ./target/release/tepic-cc gen --seed 42 --tier 10x \
+    --out "$CCC_GEN_DIR" >/dev/null
+rm -rf "$CCC_GEN_DIR"
+echo "generated 10x tier calibrated within 5 pp; pipeline + campaign clean"
+
 echo "==> decode throughput smoke"
 # Short measurement; exits non-zero if the LUT decode path regresses
 # below the bit-serial reference on the byte scheme. Also refreshes

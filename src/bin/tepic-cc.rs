@@ -11,6 +11,7 @@
 //! tepic-cc bench [options]            the whole figure suite in one invocation
 //! tepic-cc trace [options]            Chrome-trace + metrics snapshot of one run
 //! tepic-cc chaos [options]            self-healing audit under injected faults
+//! tepic-cc gen [options]              seeded synthetic workload corpus + calibration
 //! ```
 //!
 //! With `-` as the file, source is read from stdin. `--no-opt` disables
@@ -63,6 +64,26 @@
 //! LUT faults forced. The run passes only if every figure is
 //! byte-identical to the clean baseline and the `recover.*` counters
 //! reconcile one-for-one against the injection log.
+//!
+//! `gen` options (DESIGN.md §14):
+//!
+//! ```text
+//! --seed <u64>      corpus seed (default 42); equal seeds reproduce the
+//!                   corpus and report bit-for-bit
+//! --tier <t>        tiny|paper|10x|100x|1000x (default tiny; 1000x needs
+//!                   CCC_GEN_1000X=1)
+//! --flavor <f>      tepic|foreign (default tepic)
+//! --out <dir>       corpus destination (default results/gen-corpus)
+//! --report <file>   calibration report (default results/GEN_report.json)
+//! --campaign        run a fault campaign over the first generated program
+//! ```
+//!
+//! `gen` writes one `.tink` file per generated program plus a MANIFEST,
+//! pushes the whole corpus through the prepared-workload engine (compile,
+//! emulate, all five scheme encodings), and emits the calibration report:
+//! generated-vs-target op mix per category with a 5 pp acceptance bound.
+//! The exit code is non-zero if the generated mix lands out of band.
+//! `CCC_GEN_SMOKE=1` in the environment implies `--campaign`.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -81,7 +102,9 @@ fn usage() -> ExitCode {
          [--figures <a,b,..>] [--all] [--assert-warm]\n\
          \x20      tepic-cc trace --workload <name> [--scheme <s>] [--out <file>] [--check]\n\
          \x20      tepic-cc chaos [--seed <u64>] [--sites <spec>] [--runs <N>] [--jobs <N>] \
-         [--out <file>]"
+         [--out <file>]\n\
+         \x20      tepic-cc gen [--seed <u64>] [--tier <t>] [--flavor <f>] [--out <dir>] \
+         [--report <file>] [--campaign]"
     );
     ExitCode::from(2)
 }
@@ -96,6 +119,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("chaos") {
         return chaos_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("gen") {
+        return gen_cmd(&args[1..]);
     }
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) => (c.as_str(), f.as_str()),
@@ -552,23 +578,21 @@ fn trace_cmd(args: &[String]) -> ExitCode {
             }
         }
     }
-    let known = || {
-        workloads::ALL
-            .iter()
-            .map(|w| w.name)
-            .collect::<Vec<_>>()
-            .join(", ")
-    };
     let Some(workload) = workload else {
-        eprintln!("tepic-cc trace: --workload is required; known: {}", known());
-        return ExitCode::from(2);
-    };
-    let Some(w) = workloads::by_name(&workload) else {
         eprintln!(
-            "tepic-cc trace: unknown workload {workload}; known: {}",
-            known()
+            "tepic-cc trace: --workload is required; known: {}",
+            workloads::known_names()
         );
         return ExitCode::from(2);
+    };
+    // by_name_or_err's failure path lists every known benchmark, so a
+    // typo'd name is a one-round-trip fix.
+    let w = match workloads::by_name_or_err(&workload) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("tepic-cc trace: {e}");
+            return ExitCode::from(2);
+        }
     };
     if tepic_ccc::bench::engine::scheme_by_name(&scheme).is_none() {
         eprintln!("tepic-cc trace: unknown scheme {scheme}");
@@ -1190,4 +1214,202 @@ fn validate_trace(trace_json: &str, metrics_json: &str) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn gen_cmd(args: &[String]) -> ExitCode {
+    use tepic_ccc::ccc::fault::{run_campaign, CampaignConfig};
+    use tepic_ccc::workgen::{
+        generate_corpus, CalibrationReport, CampaignSummary, Flavor, MixProfile, SchemeSites, Tier,
+    };
+    use tepic_ccc::yula::opmix::OpMix;
+
+    let mut seed = 42u64;
+    let mut tier = Tier::Tiny;
+    let mut flavor = Flavor::Tepic;
+    let mut out_dir = "results/gen-corpus".to_string();
+    let mut report_path = "results/GEN_report.json".to_string();
+    let mut campaign = std::env::var("CCC_GEN_SMOKE").is_ok_and(|v| v == "1");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) => seed = s,
+                _ => {
+                    eprintln!("tepic-cc gen: --seed wants an unsigned 64-bit integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--tier" => match it.next().map(|t| Tier::by_name(t)) {
+                Some(Some(t)) => tier = t,
+                _ => {
+                    let known = Tier::ALL.map(Tier::name).join("|");
+                    eprintln!("tepic-cc gen: --tier wants one of {known}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--flavor" => match it.next().map(|f| Flavor::by_name(f)) {
+                Some(Some(f)) => flavor = f,
+                _ => {
+                    let known = Flavor::ALL.map(Flavor::name).join("|");
+                    eprintln!("tepic-cc gen: --flavor wants one of {known}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_dir = p.clone(),
+                None => {
+                    eprintln!("tepic-cc gen: --out needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--report" => match it.next() {
+                Some(p) => report_path = p.clone(),
+                None => {
+                    eprintln!("tepic-cc gen: --report needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--campaign" => campaign = true,
+            other => {
+                eprintln!("tepic-cc gen: unknown option {other}");
+                return usage();
+            }
+        }
+    }
+
+    let start = Instant::now();
+    let corpus = match generate_corpus(seed, tier, flavor) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tepic-cc gen: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Write the corpus: one .tink per program plus a manifest, all
+    // deterministic so two equal-seed invocations are byte-identical.
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("tepic-cc gen: cannot create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut manifest = String::new();
+    for gp in &corpus.programs {
+        let path = format!("{out_dir}/{}.tink", gp.name);
+        if let Err(e) = std::fs::write(&path, &gp.source) {
+            eprintln!("tepic-cc gen: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        manifest.push_str(&format!(
+            "{} seed={} bytes={}\n",
+            gp.name,
+            gp.seed,
+            gp.source.len()
+        ));
+    }
+    if let Err(e) = std::fs::write(format!("{out_dir}/MANIFEST.txt"), &manifest) {
+        eprintln!("tepic-cc gen: cannot write manifest: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // Everything below flows through the prepared-workload engine, so
+    // the corpus exercises the same compile/emulate/encode pipeline (and
+    // artifact cache) as the real benchmark suite.
+    let engine = Engine::from_env();
+    let prepared = match engine.prepare(&corpus.workloads()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("tepic-cc gen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let programs: Vec<&Program> = prepared.iter().map(|p| &p.program).collect();
+    let dynamic_ops: u64 = prepared
+        .iter()
+        .map(|p| OpMix::dynamic_mix(&p.program, &p.trace).total())
+        .sum();
+    let scheme_sites = tepic_ccc::bench::engine::MATRIX_SCHEMES
+        .iter()
+        .map(|&scheme| {
+            let image_bytes: u64 = prepared
+                .iter()
+                .map(|p| p.image(scheme).expect("matrix scheme").total_bytes() as u64)
+                .sum();
+            SchemeSites {
+                scheme: scheme.to_string(),
+                image_bytes,
+                sites: image_bytes * 8,
+            }
+        })
+        .collect();
+
+    // The smoke campaign targets the first generated program: enough to
+    // prove the fault machinery accepts synthetic inputs without paying
+    // for a full sweep on every generation run.
+    let campaign = campaign.then(|| {
+        let cfg = CampaignConfig {
+            seed,
+            faults_per_target: 50,
+        };
+        let rep = run_campaign(&prepared[0].program, &cfg);
+        CampaignSummary {
+            seed: rep.seed,
+            faults_per_target: rep.faults_per_target as u32,
+            program: prepared[0].workload.name.to_string(),
+            rows: rep
+                .rows
+                .iter()
+                .map(|r| tepic_ccc::workgen::CampaignRow {
+                    scheme: r.scheme.clone(),
+                    detected: r.payload.detected,
+                    contained: r.payload.contained,
+                    sdc: r.payload.sdc,
+                    masked: r.payload.masked,
+                })
+                .collect(),
+        }
+    });
+
+    let report = CalibrationReport {
+        seed,
+        tier: tier.name().to_string(),
+        flavor: flavor.name().to_string(),
+        programs: corpus.programs.len(),
+        source_bytes: corpus.source_bytes(),
+        static_ops: programs.iter().map(|p| p.num_ops() as u64).sum(),
+        blocks: programs.iter().map(|p| p.num_blocks() as u64).sum(),
+        dynamic_ops,
+        target: flavor.target(),
+        measured_real: MixProfile::measured_real().clone(),
+        generated_static: MixProfile::from_programs(programs.iter().copied()),
+        generated_dynamic: MixProfile::from_traces(prepared.iter().map(|p| (&p.program, &p.trace))),
+        threshold_pp: 5.0,
+        scheme_sites,
+        campaign,
+    };
+
+    if let Some(dir) = std::path::Path::new(&report_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&report_path, report.to_json()) {
+        eprintln!("tepic-cc gen: cannot write {report_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    print!("{}", report.render());
+    println!(
+        "wrote {} programs to {out_dir}, report to {report_path} ({:.1}s)",
+        corpus.programs.len(),
+        start.elapsed().as_secs_f64()
+    );
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "tepic-cc gen: generated mix out of band ({:.2} pp > {:.1} pp)",
+            report.max_delta_pp(),
+            report.threshold_pp
+        );
+        ExitCode::FAILURE
+    }
 }

@@ -22,7 +22,10 @@
 //!   figure renderers;
 //! * [`telemetry`] — the unified observability layer: metrics registry,
 //!   structured trace sinks, Chrome-trace/JSON exporters and clock
-//!   injection (DESIGN.md §12).
+//!   injection (DESIGN.md §12);
+//! * [`workgen`] — the seeded synthetic Tink workload generator with
+//!   op-mix calibration against the real corpus and scalable corpus
+//!   tiers (DESIGN.md §14).
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@
 pub use ccc_bench as bench;
 pub use ccc_core as ccc;
 pub use ccc_telemetry as telemetry;
+pub use ccc_workgen as workgen;
 pub use ifetch_sim as fetch;
 pub use lego;
 pub use tepic_isa as isa;

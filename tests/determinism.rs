@@ -90,3 +90,30 @@ fn parallel_preparation_matches_serial() {
         assert_eq!(sa.tailored, sb.tailored, "{name}: tailored differ");
     }
 }
+
+#[test]
+fn generated_corpus_preparation_matches_across_job_counts() {
+    // The synthetic corpus must enjoy the same engine guarantee as the
+    // built-in suite: a generated tiny tier prepared by one worker is
+    // bit-identical — programs, traces, every scheme image — to the
+    // same tier prepared by eight workers racing over the task pool.
+    use tepic_ccc::bench::engine::Engine;
+    use tepic_ccc::workgen::{generate_corpus, Flavor, Tier};
+
+    let corpus = generate_corpus(42, Tier::Tiny, Flavor::Tepic).unwrap();
+    let workloads = corpus.workloads();
+    let serial = Engine::uncached(1).prepare(&workloads).expect("jobs=1");
+    let parallel = Engine::uncached(8).prepare(&workloads).expect("jobs=8");
+    assert_eq!(serial.len(), parallel.len());
+
+    for (a, b) in serial.iter().zip(&parallel) {
+        let name = a.workload.name;
+        assert_eq!(a.workload.name, b.workload.name, "workload order changed");
+        assert_eq!(a.program, b.program, "{name}: program differs");
+        assert_eq!(a.trace, b.trace, "{name}: trace differs");
+        for ((sa, ia), (_, ib)) in a.images().zip(b.images()) {
+            assert_eq!(ia, ib, "{name}/{sa}: image differs");
+        }
+        assert_eq!(a.base_img, b.base_img, "{name}: base image differs");
+    }
+}
