@@ -6,12 +6,10 @@
 //! at an intermediate compression ratio — the paper measures ≈72% of the
 //! original size.
 
-use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
+use super::{BlockDecodeError, CompressError, Scheme, SchemeOutput, SymbolCodec};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::{Program, OP_BYTES};
-use tinker_huffman::{
-    BitReader, BitWriter, CodeBook, DecodeCounters, DecoderComplexity, LutDecoder,
-};
+use tinker_huffman::{BitWriter, CodeBook, DecoderComplexity, InterleavedDecoder};
 
 /// Byte-alphabet Huffman scheme.
 #[derive(Debug, Clone, Copy)]
@@ -34,50 +32,31 @@ impl Default for ByteScheme {
 struct ByteCodec {
     /// The LUT fast path decodes identically to the bit-serial
     /// reference (`CodeBook::decoder`); hardware cost is still modelled
-    /// on the reference (`DecoderComplexity` below).
-    decoder: LutDecoder,
+    /// on the reference (`DecoderComplexity` below). The `decode_block*`
+    /// triplet and the interleaved `decode_batch` are derived from this
+    /// [`SymbolCodec`] description by the blanket impl in `schemes`.
+    inter: InterleavedDecoder,
 }
 
-impl BlockCodec for ByteCodec {
-    fn decode_block(
-        &self,
-        image: &EncodedProgram,
-        b: usize,
-        num_ops: usize,
-    ) -> Result<Vec<u64>, BlockDecodeError> {
-        self.decode_block_counted(image, b, num_ops, &mut DecodeCounters::default())
+impl SymbolCodec for ByteCodec {
+    fn decoder(&self) -> &InterleavedDecoder {
+        &self.inter
     }
 
-    fn decode_block_counted(
-        &self,
-        image: &EncodedProgram,
-        b: usize,
-        num_ops: usize,
-        counts: &mut DecodeCounters,
-    ) -> Result<Vec<u64>, BlockDecodeError> {
-        let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
-        let syms = self
-            .decoder
-            .decode_n_counted(&mut r, num_ops * OP_BYTES, counts)?;
-        Ok(words_from_byte_syms(&syms, num_ops))
+    fn num_symbols(&self, num_ops: usize) -> usize {
+        num_ops * OP_BYTES
     }
 
-    fn decode_block_reference(
-        &self,
-        image: &EncodedProgram,
-        b: usize,
-        num_ops: usize,
-    ) -> Result<Vec<u64>, BlockDecodeError> {
-        let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
-        let syms = self
-            .decoder
-            .reference()
-            .decode_n(&mut r, num_ops * OP_BYTES)?;
-        Ok(words_from_byte_syms(&syms, num_ops))
+    fn table_of(&self, _i: usize, _num_ops: usize) -> u32 {
+        0
     }
 
-    fn dictionary_image(&self) -> Vec<u8> {
-        self.decoder.table_image()
+    fn assemble(&self, syms: &[u32], num_ops: usize) -> Result<Vec<u64>, BlockDecodeError> {
+        Ok(words_from_byte_syms(syms, num_ops))
+    }
+
+    fn tables_image(&self) -> Vec<u8> {
+        self.inter.table(0).table_image()
     }
 }
 
@@ -140,7 +119,7 @@ impl Scheme for ByteScheme {
         Ok(SchemeOutput {
             image,
             codec: Box::new(ByteCodec {
-                decoder: book.lut_decoder(),
+                inter: InterleavedDecoder::single(book.lut_decoder()),
             }),
         })
     }

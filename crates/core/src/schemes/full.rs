@@ -7,12 +7,10 @@
 //! best compression of the study (≈30% of original) at the price of the
 //! largest decoder — the tradeoff at the heart of Figures 5, 10 and 13.
 
-use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
+use super::{BlockDecodeError, CompressError, Scheme, SchemeOutput, SymbolCodec};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::{Program, OP_BITS};
-use tinker_huffman::{
-    BitReader, BitWriter, CodeBook, DecodeCounters, DecoderComplexity, Dictionary, LutDecoder,
-};
+use tinker_huffman::{BitWriter, CodeBook, DecoderComplexity, Dictionary, InterleavedDecoder};
 
 /// Whole-op Huffman scheme.
 #[derive(Debug, Clone, Copy)]
@@ -29,54 +27,24 @@ impl Default for FullScheme {
 }
 
 struct FullCodec {
-    decoder: LutDecoder,
+    inter: InterleavedDecoder,
     values: Vec<u64>,
 }
 
-impl BlockCodec for FullCodec {
-    fn decode_block(
-        &self,
-        image: &EncodedProgram,
-        b: usize,
-        num_ops: usize,
-    ) -> Result<Vec<u64>, BlockDecodeError> {
-        self.decode_block_counted(image, b, num_ops, &mut DecodeCounters::default())
+impl SymbolCodec for FullCodec {
+    fn decoder(&self) -> &InterleavedDecoder {
+        &self.inter
     }
 
-    fn decode_block_counted(
-        &self,
-        image: &EncodedProgram,
-        b: usize,
-        num_ops: usize,
-        counts: &mut DecodeCounters,
-    ) -> Result<Vec<u64>, BlockDecodeError> {
-        let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
-        let syms = self.decoder.decode_n_counted(&mut r, num_ops, counts)?;
-        self.lookup_words(&syms)
+    fn num_symbols(&self, num_ops: usize) -> usize {
+        num_ops
     }
 
-    fn decode_block_reference(
-        &self,
-        image: &EncodedProgram,
-        b: usize,
-        num_ops: usize,
-    ) -> Result<Vec<u64>, BlockDecodeError> {
-        let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
-        let syms = self.decoder.reference().decode_n(&mut r, num_ops)?;
-        self.lookup_words(&syms)
+    fn table_of(&self, _i: usize, _num_ops: usize) -> u32 {
+        0
     }
 
-    fn dictionary_image(&self) -> Vec<u8> {
-        let mut img = self.decoder.table_image();
-        for v in &self.values {
-            img.extend_from_slice(&v.to_le_bytes());
-        }
-        img
-    }
-}
-
-impl FullCodec {
-    fn lookup_words(&self, syms: &[u32]) -> Result<Vec<u64>, BlockDecodeError> {
+    fn assemble(&self, syms: &[u32], _num_ops: usize) -> Result<Vec<u64>, BlockDecodeError> {
         let mut out = Vec::with_capacity(syms.len());
         for &sym in syms {
             let word = self
@@ -86,6 +54,14 @@ impl FullCodec {
             out.push(*word);
         }
         Ok(out)
+    }
+
+    fn tables_image(&self) -> Vec<u8> {
+        let mut img = self.inter.table(0).table_image();
+        for v in &self.values {
+            img.extend_from_slice(&v.to_le_bytes());
+        }
+        img
     }
 }
 
@@ -132,7 +108,7 @@ impl Scheme for FullScheme {
             decoder: DecoderCost::Huffman(vec![model]),
         };
         let codec = FullCodec {
-            decoder: book.lut_decoder(),
+            inter: InterleavedDecoder::single(book.lut_decoder()),
             values: (0..dict.len() as u32).map(|i| *dict.value_of(i)).collect(),
         };
         Ok(SchemeOutput {

@@ -10,12 +10,10 @@
 //! roughly squares. The `ext_entropy_limit` experiment quantifies both
 //! sides.
 
-use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
+use super::{BlockDecodeError, CompressError, Scheme, SchemeOutput, SymbolCodec};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::{Program, OP_BITS};
-use tinker_huffman::{
-    BitReader, BitWriter, CodeBook, DecodeCounters, DecoderComplexity, Dictionary, LutDecoder,
-};
+use tinker_huffman::{BitWriter, CodeBook, DecoderComplexity, Dictionary, InterleavedDecoder};
 
 /// Whole-op-pair Huffman scheme.
 #[derive(Debug, Clone, Copy)]
@@ -31,108 +29,67 @@ impl Default for PairScheme {
 }
 
 struct PairCodec {
-    pair_decoder: LutDecoder,
+    /// Table 0 decodes pairs; table 1 (absent when no block has an odd
+    /// length) decodes the trailing single. The cycle is `[0]`: pairs
+    /// are the cycle-consistent prefix, the single the off-cycle tail.
+    inter: InterleavedDecoder,
     pair_values: Vec<(u64, u64)>,
-    single_decoder: Option<LutDecoder>,
     single_values: Vec<u64>,
 }
 
-impl BlockCodec for PairCodec {
-    fn decode_block(
-        &self,
-        image: &EncodedProgram,
-        b: usize,
-        num_ops: usize,
-    ) -> Result<Vec<u64>, BlockDecodeError> {
-        self.decode_block_counted(image, b, num_ops, &mut DecodeCounters::default())
+impl SymbolCodec for PairCodec {
+    fn decoder(&self) -> &InterleavedDecoder {
+        &self.inter
     }
 
-    fn decode_block_counted(
-        &self,
-        image: &EncodedProgram,
-        b: usize,
-        num_ops: usize,
-        counts: &mut DecodeCounters,
-    ) -> Result<Vec<u64>, BlockDecodeError> {
-        self.decode_block_impl(image, b, num_ops, counts, false)
+    fn num_symbols(&self, num_ops: usize) -> usize {
+        num_ops / 2 + num_ops % 2
     }
 
-    fn decode_block_reference(
-        &self,
-        image: &EncodedProgram,
-        b: usize,
-        num_ops: usize,
-    ) -> Result<Vec<u64>, BlockDecodeError> {
-        self.decode_block_impl(image, b, num_ops, &mut DecodeCounters::default(), true)
+    fn table_of(&self, i: usize, num_ops: usize) -> u32 {
+        u32::from(i >= num_ops / 2)
     }
 
-    fn dictionary_image(&self) -> Vec<u8> {
-        let mut img = self.pair_decoder.table_image();
+    fn assemble(&self, syms: &[u32], num_ops: usize) -> Result<Vec<u64>, BlockDecodeError> {
+        let pairs = num_ops / 2;
+        let mut out = Vec::with_capacity(num_ops);
+        for (i, &sym) in syms.iter().enumerate() {
+            if i < pairs {
+                let (a, c) =
+                    *self
+                        .pair_values
+                        .get(sym as usize)
+                        .ok_or(BlockDecodeError::BadValue {
+                            field: "pair symbol",
+                        })?;
+                out.push(a);
+                out.push(c);
+            } else {
+                let v = self
+                    .single_values
+                    .get(sym as usize)
+                    .ok_or(BlockDecodeError::BadValue {
+                        field: "single symbol",
+                    })?;
+                out.push(*v);
+            }
+        }
+        Ok(out)
+    }
+
+    fn tables_image(&self) -> Vec<u8> {
+        let mut img = self.inter.table(0).table_image();
         for (a, c) in &self.pair_values {
             img.extend_from_slice(&a.to_le_bytes());
             img.extend_from_slice(&c.to_le_bytes());
         }
-        if let Some(dec) = &self.single_decoder {
+        if let Some(dec) = self.inter.get_table(1) {
             img.extend_from_slice(&dec.table_image());
             for v in &self.single_values {
                 img.extend_from_slice(&v.to_le_bytes());
             }
         }
         img
-    }
-}
-
-impl PairCodec {
-    /// The shared decode loop; `reference` forces both dictionaries'
-    /// symbols down the bit-serial reference decoder instead of the LUT.
-    fn decode_block_impl(
-        &self,
-        image: &EncodedProgram,
-        b: usize,
-        num_ops: usize,
-        counts: &mut DecodeCounters,
-        reference: bool,
-    ) -> Result<Vec<u64>, BlockDecodeError> {
-        let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
-        let mut out = Vec::with_capacity(num_ops);
-        while out.len() + 1 < num_ops {
-            let sym = if reference {
-                self.pair_decoder
-                    .reference()
-                    .decode_counted(&mut r, counts)?
-            } else {
-                self.pair_decoder.decode_counted(&mut r, counts)?
-            };
-            let (a, c) = *self
-                .pair_values
-                .get(sym as usize)
-                .ok_or(BlockDecodeError::BadValue {
-                    field: "pair symbol",
-                })?;
-            out.push(a);
-            out.push(c);
-        }
-        if out.len() < num_ops {
-            let dec = self
-                .single_decoder
-                .as_ref()
-                .ok_or(BlockDecodeError::BadValue {
-                    field: "singles table",
-                })?;
-            let sym = if reference {
-                dec.reference().decode_counted(&mut r, counts)?
-            } else {
-                dec.decode_counted(&mut r, counts)?
-            };
-            let v = self
-                .single_values
-                .get(sym as usize)
-                .ok_or(BlockDecodeError::BadValue {
-                    field: "single symbol",
-                })?;
-            out.push(*v);
-        }
-        Ok(out)
     }
 }
 
@@ -221,12 +178,13 @@ impl Scheme for PairScheme {
             block_bytes,
             decoder: DecoderCost::Huffman(decoders),
         };
+        let mut tables = vec![pair_book.lut_decoder()];
+        tables.extend(single_book.as_ref().map(CodeBook::lut_decoder));
         let codec = PairCodec {
-            pair_decoder: pair_book.lut_decoder(),
+            inter: InterleavedDecoder::with_cycle(tables, vec![0]),
             pair_values: (0..pairs.len() as u32)
                 .map(|i| *pairs.value_of(i))
                 .collect(),
-            single_decoder: single_book.as_ref().map(CodeBook::lut_decoder),
             single_values: (0..singles.len() as u32)
                 .map(|i| *singles.value_of(i))
                 .collect(),

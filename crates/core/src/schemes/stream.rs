@@ -14,12 +14,10 @@
 //! 20-bit halves → smallest code) called out by name as in Figure 5;
 //! `stream_explorer` in `ccc-bench` reproduces the selection.
 
-use super::{BlockCodec, BlockDecodeError, CompressError, Scheme, SchemeOutput};
+use super::{BlockDecodeError, CompressError, Scheme, SchemeOutput, SymbolCodec};
 use crate::encoded::{DecoderCost, EncodedProgram, SchemeKind};
 use tepic_isa::Program;
-use tinker_huffman::{
-    BitReader, BitWriter, CodeBook, DecodeCounters, DecoderComplexity, Dictionary, LutDecoder,
-};
+use tinker_huffman::{BitWriter, CodeBook, DecoderComplexity, Dictionary, InterleavedDecoder};
 
 /// A stream configuration: cut points over the 40-bit word. `cuts` must
 /// start at 0, end at 40, and be strictly increasing.
@@ -132,73 +130,32 @@ fn field(word: u64, off: u32, width: u32) -> u64 {
 
 struct StreamCodec {
     config: &'static StreamConfig,
-    decoders: Vec<LutDecoder>,
+    /// One table per field stream; the cycle visits them in stream
+    /// order, so an op is `num_streams` consecutive codewords.
+    inter: InterleavedDecoder,
     values: Vec<Vec<u64>>, // per stream: symbol id → field value
 }
 
-impl BlockCodec for StreamCodec {
-    fn decode_block(
-        &self,
-        image: &EncodedProgram,
-        b: usize,
-        num_ops: usize,
-    ) -> Result<Vec<u64>, BlockDecodeError> {
-        self.decode_block_counted(image, b, num_ops, &mut DecodeCounters::default())
+impl SymbolCodec for StreamCodec {
+    fn decoder(&self) -> &InterleavedDecoder {
+        &self.inter
     }
 
-    fn decode_block_counted(
-        &self,
-        image: &EncodedProgram,
-        b: usize,
-        num_ops: usize,
-        counts: &mut DecodeCounters,
-    ) -> Result<Vec<u64>, BlockDecodeError> {
-        self.decode_block_impl(image, b, num_ops, counts, false)
+    fn num_symbols(&self, num_ops: usize) -> usize {
+        num_ops * self.config.num_streams()
     }
 
-    fn decode_block_reference(
-        &self,
-        image: &EncodedProgram,
-        b: usize,
-        num_ops: usize,
-    ) -> Result<Vec<u64>, BlockDecodeError> {
-        self.decode_block_impl(image, b, num_ops, &mut DecodeCounters::default(), true)
+    fn table_of(&self, i: usize, _num_ops: usize) -> u32 {
+        (i % self.config.num_streams()) as u32
     }
 
-    fn dictionary_image(&self) -> Vec<u8> {
-        let mut img = Vec::new();
-        for (si, dec) in self.decoders.iter().enumerate() {
-            img.extend_from_slice(&dec.table_image());
-            for v in &self.values[si] {
-                img.extend_from_slice(&v.to_le_bytes());
-            }
-        }
-        img
-    }
-}
-
-impl StreamCodec {
-    /// The shared decode loop; `reference` forces every stream's symbols
-    /// down the bit-serial reference decoder instead of the LUT.
-    fn decode_block_impl(
-        &self,
-        image: &EncodedProgram,
-        b: usize,
-        num_ops: usize,
-        counts: &mut DecodeCounters,
-        reference: bool,
-    ) -> Result<Vec<u64>, BlockDecodeError> {
-        let mut r = BitReader::at_bit(&image.bytes, image.block_start[b] * 8);
+    fn assemble(&self, syms: &[u32], num_ops: usize) -> Result<Vec<u64>, BlockDecodeError> {
+        let ns = self.config.num_streams();
         let mut out = Vec::with_capacity(num_ops);
-        for _ in 0..num_ops {
+        for op_syms in syms.chunks_exact(ns) {
             let mut word = 0u64;
-            for (si, dec) in self.decoders.iter().enumerate() {
+            for (si, &sym) in op_syms.iter().enumerate() {
                 let (off, _) = self.config.stream_bits(si);
-                let sym = if reference {
-                    dec.reference().decode_counted(&mut r, counts)?
-                } else {
-                    dec.decode_counted(&mut r, counts)?
-                };
                 let v = self.values[si]
                     .get(sym as usize)
                     .ok_or(BlockDecodeError::BadValue {
@@ -209,6 +166,17 @@ impl StreamCodec {
             out.push(word);
         }
         Ok(out)
+    }
+
+    fn tables_image(&self) -> Vec<u8> {
+        let mut img = Vec::new();
+        for (si, values) in self.values.iter().enumerate() {
+            img.extend_from_slice(&self.inter.table(si).table_image());
+            for v in values {
+                img.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        img
     }
 }
 
@@ -284,7 +252,7 @@ impl Scheme for StreamScheme {
         };
         let codec = StreamCodec {
             config: self.config,
-            decoders: books.iter().map(CodeBook::lut_decoder).collect(),
+            inter: InterleavedDecoder::new(books.iter().map(CodeBook::lut_decoder).collect()),
             values: dicts
                 .iter()
                 .map(|d| (0..d.len() as u32).map(|i| *d.value_of(i)).collect())

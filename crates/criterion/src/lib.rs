@@ -65,7 +65,26 @@ impl BenchmarkGroup<'_> {
     /// [`Self::bench_function`] that also returns the mean time per
     /// iteration in nanoseconds, for benches that post-process their
     /// measurements (throughput reports, regression gates).
-    pub fn bench_measured<F>(&mut self, id: &str, mut f: F) -> f64
+    pub fn bench_measured<F>(&mut self, id: &str, f: F) -> f64
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_samples(id, f).0
+    }
+
+    /// [`Self::bench_measured`] returning the *best* (minimum) sample's
+    /// time per iteration instead of the mean. Interference on a busy
+    /// host only ever adds time, so the minimum is the noise-robust
+    /// estimator of the routine's own cost — what regression floors
+    /// should compare.
+    pub fn bench_best<F>(&mut self, id: &str, f: F) -> f64
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_samples(id, f).1
+    }
+
+    fn run_samples<F>(&mut self, id: &str, mut f: F) -> (f64, f64)
     where
         F: FnMut(&mut Bencher),
     {
@@ -84,6 +103,7 @@ impl BenchmarkGroup<'_> {
 
         let mut total = Duration::ZERO;
         let mut total_iters = 0u64;
+        let mut best_ns = f64::INFINITY;
         let started = Instant::now();
         for _ in 0..samples {
             let mut b = Bencher {
@@ -93,13 +113,14 @@ impl BenchmarkGroup<'_> {
             f(&mut b);
             total += b.elapsed;
             total_iters += iters;
+            best_ns = best_ns.min(b.elapsed.as_nanos() as f64 / iters.max(1) as f64);
             if started.elapsed() > budget {
                 break;
             }
         }
         let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
         println!("  {id:<28} {}", format_ns(mean_ns));
-        mean_ns
+        (mean_ns, best_ns)
     }
 
     /// Ends the group (no-op; kept for API compatibility).

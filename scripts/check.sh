@@ -57,12 +57,25 @@ CCC_GEN_SMOKE=1 ./target/release/tepic-cc gen --seed 42 --tier 10x \
 rm -rf "$CCC_GEN_DIR"
 echo "generated 10x tier calibrated within 5 pp; pipeline + campaign clean"
 
+echo "==> simd feature build + tests"
+# The AVX2 gather path is off by default; build and test the huffman
+# and core crates with it on so the feature can't rot. The kernels
+# runtime-detect AVX2, so this is safe on any x86-64 (and the scalar
+# fallback keeps other arches green).
+cargo test -q -p tinker-huffman -p ccc-core --features tinker-huffman/simd,ccc-core/simd
+echo "simd feature builds and passes tests"
+
 echo "==> decode throughput smoke"
-# Short measurement; exits non-zero if the LUT decode path regresses
-# below the bit-serial reference on the byte scheme. Also refreshes
-# results/decode_throughput.txt and results/BENCH_decode.json.
-CCC_DECODE_SMOKE=1 cargo bench -p ccc-bench --bench decode_throughput >/dev/null
-echo "LUT decode fast path not slower than reference"
+# Short measurement; exits non-zero on any decode regression floor:
+# LUT slower than the bit-serial reference on the byte scheme, the
+# stream scheme's interleaved throughput under CCC_DECODE_FLOOR x its
+# sequential-LUT throughput (default 2.2 smoke / 2.5 full), or its
+# aggregate decoded-output bandwidth under CCC_DECODE_AGG_FLOOR MB/s
+# (default 1000). Also refreshes results/decode_throughput.txt and
+# results/BENCH_decode.json.
+CCC_DECODE_SMOKE=1 CCC_DECODE_FLOOR="${CCC_DECODE_FLOOR:-2.2}" \
+    cargo bench -p ccc-bench --bench decode_throughput >/dev/null
+echo "decode floors held (LUT >= reference, interleaved >= floor x LUT, >= 1 GB/s decoded)"
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check

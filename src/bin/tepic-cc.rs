@@ -32,6 +32,8 @@
 //! --figures <list>  comma-separated subset (default: the core figures)
 //! --all             every figure, table and extension experiment
 //! --assert-warm     fail unless the run was served entirely from cache
+//! --lut-bits <l>    n[,n..] in 8..=16: add a decode panel sweeping the
+//!                   first-level LUT size over each workload's op-word book
 //! ```
 //!
 //! `trace` options (DESIGN.md §12):
@@ -99,7 +101,7 @@ fn usage() -> ExitCode {
         "usage: tepic-cc <run|disasm|report|verilog|sim|stats|faultsim> <file.tink|-> \
          [--no-opt] [--seed <u64>]\n\
          \x20      tepic-cc bench [--jobs <N>] [--no-cache] [--cache-dir <dir>] \
-         [--figures <a,b,..>] [--all] [--assert-warm]\n\
+         [--figures <a,b,..>] [--all] [--assert-warm] [--lut-bits <n,..>]\n\
          \x20      tepic-cc trace --workload <name> [--scheme <s>] [--out <file>] [--check]\n\
          \x20      tepic-cc chaos [--seed <u64>] [--sites <spec>] [--runs <N>] [--jobs <N>] \
          [--out <file>]\n\
@@ -360,6 +362,7 @@ fn bench_cmd(args: &[String]) -> ExitCode {
     let mut figure_list: Option<Vec<String>> = None;
     let mut all = false;
     let mut assert_warm = false;
+    let mut lut_bits: Vec<u32> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -389,6 +392,19 @@ fn bench_cmd(args: &[String]) -> ExitCode {
             },
             "--all" => all = true,
             "--assert-warm" => assert_warm = true,
+            "--lut-bits" => match it.next() {
+                Some(list) if list.split(',').all(|p| p.trim().parse::<u32>().is_ok()) => {
+                    lut_bits = list
+                        .split(',')
+                        .map(|p| p.trim().parse::<u32>().unwrap().clamp(8, 16))
+                        .collect();
+                    lut_bits.dedup();
+                }
+                _ => {
+                    eprintln!("tepic-cc bench: --lut-bits wants n[,n..] with n in 8..=16");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("tepic-cc bench: unknown option {other}");
                 return usage();
@@ -520,6 +536,54 @@ fn bench_cmd(args: &[String]) -> ExitCode {
         tot.long_fallbacks,
         tot.decode_errors
     );
+
+    // `--lut-bits`: sequential-LUT decode throughput per first-level
+    // table size, over each workload's full-scheme op-word book (the
+    // same sweep `cargo bench -p ccc-bench --bench decode_throughput
+    // -- --lut-bits ..` runs over all schemes).
+    if !lut_bits.is_empty() {
+        use tepic_ccc::huffman::{BitReader, BitWriter, Dictionary, LutDecoder};
+        println!("==================== lut-bits sweep ====================");
+        let header: Vec<String> = lut_bits.iter().map(|b| format!("{b:>4}b MB/s",)).collect();
+        println!("{:<10} {}", "workload", header.join("  "));
+        for p in &prepared {
+            let words = p.program.op_words();
+            let dict: Dictionary<u64> = words.iter().copied().collect();
+            let book = match CodeBook::bounded_from_freqs(dict.freqs(), 24) {
+                Ok(b) => b,
+                Err(e) => {
+                    println!("{:<10} <book failed: {e}>", p.workload.name);
+                    continue;
+                }
+            };
+            let syms: Vec<u32> = words.iter().map(|w| dict.id_of(w).unwrap()).collect();
+            let mut bw = BitWriter::new();
+            for &s in &syms {
+                book.encode_into(s, &mut bw);
+            }
+            let bytes = bw.into_bytes();
+            let cols: Vec<String> = lut_bits
+                .iter()
+                .map(|&bits| {
+                    let dec = LutDecoder::with_lut_bits(&book, bits);
+                    // Best of a few timed passes: interference only adds
+                    // time, so the minimum estimates the kernel's cost.
+                    let mut best = f64::INFINITY;
+                    for _ in 0..5 {
+                        let t = Instant::now();
+                        let out = dec
+                            .decode_n(&mut BitReader::new(&bytes), syms.len())
+                            .unwrap();
+                        let el = t.elapsed().as_secs_f64();
+                        std::hint::black_box(&out);
+                        best = best.min(el);
+                    }
+                    format!("{:>9.1}", bytes.len() as f64 / best / 1e6)
+                })
+                .collect();
+            println!("{:<10} {}", p.workload.name, cols.join("  "));
+        }
+    }
 
     if assert_warm {
         let expected_images =
