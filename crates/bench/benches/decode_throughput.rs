@@ -33,9 +33,12 @@
 //!
 //! Set `CCC_DECODE_SMOKE=1` for a short smoke measurement.
 
+use ccc_bench::engine::cache::write_atomic;
+use ccc_bench::history::{self, SentinelConfig};
 use ccc_core::schemes::stream::StreamConfig;
 use ccc_core::schemes::{byte::ByteScheme, full::FullScheme, pair::PairScheme};
 use ccc_core::schemes::{decode_blocks, stream::StreamScheme, BlockCodec, Scheme};
+use ccc_telemetry::ledger::{self, Fingerprint};
 use criterion::Criterion;
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -724,6 +727,7 @@ fn lut_bits_arg() -> Vec<u32> {
 }
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let smoke = std::env::var("CCC_DECODE_SMOKE").is_ok_and(|v| v == "1");
     let mut c = if smoke {
         Criterion::default()
@@ -778,23 +782,63 @@ fn main() {
     // measures here (see the module doc). CCC_DECODE_AGG_FLOOR gates
     // the aggregate decoded-output bandwidth in MB/s (Issue 8's
     // ">= 1 GB/s aggregate"; measured ~2.4 GB/s).
-    let floor = std::env::var("CCC_DECODE_FLOOR")
+    let env_floor = std::env::var("CCC_DECODE_FLOOR")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(if smoke { 2.2 } else { 2.5 });
-    let agg_floor = std::env::var("CCC_DECODE_AGG_FLOOR")
+    let env_agg_floor = std::env::var("CCC_DECODE_AGG_FLOOR")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(1000.0);
+
+    // Ledger-derived floors (DESIGN.md §16): the best same-fingerprint
+    // historical value for each gated sample, derated by the sentinel
+    // band. The env/default constants above stay as the absolute
+    // backstop — the effective floor is the max of both, so history can
+    // only *raise* the bar, never lower it.
+    // Smoke and full measurements have different sample budgets, so
+    // they keep separate ledger groups.
+    let bench_name = if smoke {
+        "decode_throughput/smoke"
+    } else {
+        "decode_throughput/full"
+    };
+    let features = if cfg!(feature = "simd") { "simd" } else { "" };
+    let fp = Fingerprint::current(features, tinker_huffman::lut::DEFAULT_LUT_BITS as u64);
+    let cfg = SentinelConfig::default();
+    // `cargo bench` runs with the package dir as cwd, so a relative
+    // ledger path is re-anchored at the workspace root — the same file
+    // the CLI writes.
+    let ledger_file = ledger::ledger_path().map(|p| {
+        if p.is_absolute() {
+            p
+        } else {
+            std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(p)
+        }
+    });
+    let hist = ledger_file
+        .as_deref()
+        .and_then(|p| ledger::load(p).ok())
+        .map(|o| o.records)
+        .unwrap_or_default();
+    let derived =
+        |sample: &str| history::derived_floor(&hist, &fp, bench_name, sample, &cfg).unwrap_or(0.0);
+    let floor = env_floor.max(derived("stream_inter_over_lut_ratio"));
+    let agg_floor = env_agg_floor.max(derived("stream_decoded_mb_s"));
+    if floor > env_floor || agg_floor > env_agg_floor {
+        println!(
+            "ledger-derived floors active: ratio {floor:.2}x (backstop {env_floor:.2}x), \
+             aggregate {agg_floor:.0} MB/s (backstop {env_agg_floor:.0} MB/s)"
+        );
+    }
     let stream = measured.iter().find(|m| m.scheme == "stream").unwrap();
     let stream_ratio = stream.inter_over_lut();
 
     let table = render_table(&measured, &names);
     print!("\n{table}");
     let results = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
-    std::fs::create_dir_all(results).unwrap();
-    std::fs::write(format!("{results}/decode_throughput.txt"), &table).unwrap();
-    std::fs::write(
+    write_atomic(format!("{results}/decode_throughput.txt"), table.as_bytes()).unwrap();
+    write_atomic(
         format!("{results}/BENCH_decode.json"),
         render_json(
             &measured,
@@ -806,7 +850,8 @@ fn main() {
             stream_ratio,
             agg_floor,
             stream.inter_decoded_mb_per_s(),
-        ),
+        )
+        .as_bytes(),
     )
     .unwrap();
     println!("wrote results/decode_throughput.txt and results/BENCH_decode.json");
@@ -842,5 +887,35 @@ fn main() {
             stream.inter_decoded_mb_per_s()
         );
         std::process::exit(1);
+    }
+
+    // All gates held: append this run to the ledger so `perf --check`
+    // and the next run's derived floors see it. Only passing runs land
+    // here — a degenerate measurement must not become the baseline.
+    let mut rec = history::base_record(
+        bench_name,
+        seed,
+        features,
+        tinker_huffman::lut::DEFAULT_LUT_BITS as u64,
+        t0.elapsed().as_nanos() as u64,
+    );
+    rec.samples
+        .insert("stream_inter_mb_s".to_string(), stream.inter_mb_per_s());
+    rec.samples
+        .insert("stream_inter_over_lut_ratio".to_string(), stream_ratio);
+    rec.samples.insert(
+        "stream_decoded_mb_s".to_string(),
+        stream.inter_decoded_mb_per_s(),
+    );
+    for m in &measured {
+        rec.samples
+            .insert(format!("{}_lut_mb_s", m.scheme), m.mb_per_s(m.lut_ns));
+        rec.samples
+            .insert(format!("{}_speedup_ratio", m.scheme), m.speedup());
+    }
+    if let Some(path) = &ledger_file {
+        if let Err(e) = ledger::append(path, &rec) {
+            eprintln!("warning: ledger append to {} failed: {e}", path.display());
+        }
     }
 }

@@ -12,9 +12,19 @@
 use ccc_bench::engine::Engine;
 
 fn main() {
-    let prepared = Engine::from_env().prepare_all().unwrap_or_else(|e| {
+    let t0 = std::time::Instant::now();
+    let engine = Engine::from_env();
+    let prepared = engine.prepare_all().unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(1);
     });
     print!("{}", ccc_bench::figures::ablations(&prepared));
+    ccc_bench::history::append_best_effort(&ccc_bench::history::engine_record(
+        "ablations",
+        0,
+        ccc_bench::history::build_features(),
+        0,
+        &engine,
+        t0.elapsed().as_nanos() as u64,
+    ));
 }

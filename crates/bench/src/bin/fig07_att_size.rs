@@ -5,6 +5,7 @@
 use ccc_bench::engine::Engine;
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let engine = Engine::from_env();
     let prepared = engine.prepare_all().unwrap_or_else(|e| {
         eprintln!("{e}");
@@ -12,4 +13,12 @@ fn main() {
     });
     let reports = engine.reports(&prepared);
     print!("{}", ccc_bench::figures::fig07(&reports, &prepared));
+    ccc_bench::history::append_best_effort(&ccc_bench::history::engine_record(
+        "fig07_att_size",
+        0,
+        ccc_bench::history::build_features(),
+        0,
+        &engine,
+        t0.elapsed().as_nanos() as u64,
+    ));
 }

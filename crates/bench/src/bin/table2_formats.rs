@@ -2,5 +2,13 @@
 //! printed for the record).
 
 fn main() {
+    let t0 = std::time::Instant::now();
     print!("{}", ccc_bench::figures::table2());
+    ccc_bench::history::append_best_effort(&ccc_bench::history::base_record(
+        "table2_formats",
+        0,
+        ccc_bench::history::build_features(),
+        0,
+        t0.elapsed().as_nanos() as u64,
+    ));
 }

@@ -247,12 +247,69 @@ impl ArtifactCache {
     }
 }
 
+/// Writes `bytes` to `path` through a unique temp file and an atomic
+/// rename — the same discipline [`ArtifactCache::store`] uses for cache
+/// entries, exposed for results files (`results/METRICS_*.json`,
+/// reports, trace exports): a reader or an interrupted run can never
+/// observe a torn file, only the old content or the new.
+///
+/// Creates the parent directory if missing. The temp file lives in the
+/// target's directory so the rename stays on one filesystem.
+///
+/// # Errors
+///
+/// Propagates filesystem failures; the temp file is cleaned up when
+/// the rename fails.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => {
+            fs::create_dir_all(p)?;
+            p
+        }
+        _ => Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::other("write_atomic: path has no file name"))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp-{}",
+        name.to_string_lossy(),
+        std::process::id()
+    ));
+    fs::write(&tmp, bytes)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn scratch(tag: &str) -> PathBuf {
         std::env::temp_dir().join(format!("ccc-cache-test-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn write_atomic_creates_dirs_replaces_content_and_leaves_no_temp() {
+        let dir = scratch("write-atomic");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.json");
+        write_atomic(&path, b"{\"v\":1}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\":1}");
+        write_atomic(&path, b"{\"v\":2}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\":2}");
+        let leftovers: Vec<_> = fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers.len(), 1, "no temp files remain: {leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     fn key(label: &str) -> CacheKey {

@@ -449,6 +449,26 @@ pub struct Engine {
     failpoints: Arc<Failpoints>,
     retry: RetryPolicy,
     sink: Option<SharedSink>,
+    /// Next causal span id (ids are engine-unique and non-zero; 0 is
+    /// the "no span" parent sentinel).
+    span_ids: AtomicU64,
+}
+
+/// Timing scope of one workload's spans during [`Engine::prepare`]:
+/// the pre-allocated span id plus the min/max window over every task
+/// that ran under it (across both stages and all retry attempts).
+struct WorkloadScope {
+    id: u64,
+    min_start: AtomicU64,
+    max_end: AtomicU64,
+}
+
+/// Span scaffolding for one [`Engine::prepare`] call (only built when a
+/// sink is attached).
+struct PrepareSpans {
+    start_ns: u64,
+    root: u64,
+    scopes: Vec<WorkloadScope>,
 }
 
 impl Engine {
@@ -464,7 +484,50 @@ impl Engine {
             failpoints: Arc::new(Failpoints::disabled()),
             retry: RetryPolicy::default(),
             sink: None,
+            span_ids: AtomicU64::new(1),
         }
+    }
+
+    /// Allocates a fresh non-zero causal span id. Public so callers
+    /// that record their own spans into the engine's sink (the CLI's
+    /// `simulate` span, say) draw from the same id space and never
+    /// collide with the engine's stage spans.
+    pub fn next_span_id(&self) -> u64 {
+        self.span_ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Runs `f` under workload `wi`'s span context (when spans are on),
+    /// folding the task's wall-clock window into the workload scope so
+    /// the workload span recorded afterwards is guaranteed to enclose
+    /// every child span the task emitted — the window close happens in
+    /// a drop guard, so even a panicking attempt stays enclosed.
+    fn in_workload_span<T>(
+        &self,
+        spans: &Option<PrepareSpans>,
+        wi: usize,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let Some(spans) = spans else { return f() };
+        let scope = &spans.scopes[wi];
+        scope
+            .min_start
+            .fetch_min(self.clock.now_ns(), Ordering::Relaxed);
+        struct CloseWindow<'a> {
+            scope: &'a WorkloadScope,
+            clock: &'a dyn Clock,
+        }
+        impl Drop for CloseWindow<'_> {
+            fn drop(&mut self) {
+                self.scope
+                    .max_end
+                    .fetch_max(self.clock.now_ns(), Ordering::Relaxed);
+            }
+        }
+        let _close = CloseWindow {
+            scope,
+            clock: &*self.clock,
+        };
+        pool::with_span(scope.id, f)
     }
 
     /// An engine caching under `dir`.
@@ -767,6 +830,8 @@ impl Engine {
                 sink.record(TraceEvent::Span {
                     name: "cache-probe",
                     detail: format!("{}/{}", kind.name(), key.label),
+                    id: self.next_span_id(),
+                    parent: pool::current_span(),
                     start_ns: start,
                     dur_ns: self.clock.now_ns().saturating_sub(start),
                 });
@@ -797,9 +862,14 @@ impl Engine {
         self.timer_of(kind).fetch_add(dur, Ordering::Relaxed);
         self.bump(kind, false);
         if let Some(sink) = &self.sink {
+            // The span and the stage timer above are fed the same
+            // start/dur pair, so `perf --attr`'s per-stage rollups
+            // reconcile *exactly* with the snapshot timers.
             sink.record(TraceEvent::Span {
                 name: kind.stage(),
                 detail: key.label.clone(),
+                id: self.next_span_id(),
+                parent: pool::current_span(),
                 start_ns: start,
                 dur_ns: dur,
             });
@@ -1030,17 +1100,40 @@ impl Engine {
     pub fn prepare(&self, list: &[&'static Workload]) -> Result<Vec<Prepared>, PrepareErrors> {
         let opts = lego::Options::default();
 
+        // Causal-span scaffolding (sink-gated, so the no-sink path does
+        // not read the clock): one root `prepare` span, one `workload`
+        // child per entry. Stage tasks below run under their workload's
+        // span context, which travels with the job closure across the
+        // work-stealing pool — the span tree reflects which workload
+        // *caused* a build, not which thread ran it.
+        let spans = self.sink.as_ref().map(|_| PrepareSpans {
+            start_ns: self.clock.now_ns(),
+            root: self.next_span_id(),
+            scopes: list
+                .iter()
+                .map(|_| WorkloadScope {
+                    id: self.next_span_id(),
+                    min_start: AtomicU64::new(u64::MAX),
+                    max_end: AtomicU64::new(0),
+                })
+                .collect(),
+        });
+
         // Stage 1: compile + trace, one task per workload.
         let stage1: Vec<Result<(Program, BlockTrace), PrepareError>> = self
             .run_jobs_healed(
                 list.iter()
-                    .map(|w| {
+                    .enumerate()
+                    .map(|(wi, w)| {
                         let opts = &opts;
+                        let spans = &spans;
                         move || -> Result<(Program, BlockTrace), PrepareError> {
-                            self.pool_job_admission();
-                            let program = self.program(w.name, w.source(), opts)?;
-                            let trace = self.trace(w.name, w.source(), opts, &program)?;
-                            Ok((program, trace))
+                            self.in_workload_span(spans, wi, || {
+                                self.pool_job_admission();
+                                let program = self.program(w.name, w.source(), opts)?;
+                                let trace = self.trace(w.name, w.source(), opts, &program)?;
+                                Ok((program, trace))
+                            })
                         }
                     })
                     .collect(),
@@ -1062,11 +1155,14 @@ impl Engine {
             .run_jobs_healed(
                 matrix_tasks
                     .iter()
-                    .map(|&(_, scheme, program, w)| {
+                    .map(|&(wi, scheme, program, w)| {
                         let opts = &opts;
+                        let spans = &spans;
                         move || {
-                            self.pool_job_admission();
-                            self.image(w.name, w.source(), opts, scheme, program)
+                            self.in_workload_span(spans, wi, || {
+                                self.pool_job_admission();
+                                self.image(w.name, w.source(), opts, scheme, program)
+                            })
                         }
                     })
                     .collect(),
@@ -1074,6 +1170,35 @@ impl Engine {
             .into_iter()
             .map(|r| r.unwrap_or_else(|p| Err(PrepareError::Job(p))))
             .collect();
+
+        // Close the span scaffolding: each workload span's window is
+        // the union of its task windows (so children are nested by
+        // construction), and the root span brackets everything.
+        if let (Some(sink), Some(spans)) = (&self.sink, &spans) {
+            for (scope, w) in spans.scopes.iter().zip(list) {
+                let min = scope.min_start.load(Ordering::Relaxed);
+                let max = scope.max_end.load(Ordering::Relaxed);
+                if max == 0 {
+                    continue; // no task ran under this workload
+                }
+                sink.record(TraceEvent::Span {
+                    name: "workload",
+                    detail: w.name.to_string(),
+                    id: scope.id,
+                    parent: spans.root,
+                    start_ns: min,
+                    dur_ns: max.saturating_sub(min),
+                });
+            }
+            sink.record(TraceEvent::Span {
+                name: "prepare",
+                detail: format!("{} workloads", list.len()),
+                id: spans.root,
+                parent: pool::current_span(),
+                start_ns: spans.start_ns,
+                dur_ns: self.clock.now_ns().saturating_sub(spans.start_ns),
+            });
+        }
 
         // Aggregate: pair matrix results back to workloads, keeping the
         // first error per workload (stage-1 errors already won above).
@@ -1139,26 +1264,49 @@ impl Engine {
     /// inline on the caller's thread (outside the `pool.job` failpoint).
     pub fn reports(&self, prepared: &[Prepared]) -> Vec<CompressionReport> {
         let opts = lego::Options::default();
+        // A root span bracketing the whole report pass; each report
+        // task runs under it so its stage spans parent correctly.
+        let root = self
+            .sink
+            .as_ref()
+            .map(|_| (self.next_span_id(), self.clock.now_ns()));
+        let root_id = root.map_or(0, |(id, _)| id);
         let out = self.run_jobs_healed(
             prepared
                 .iter()
                 .map(|p| {
                     let opts = &opts;
                     move || {
-                        self.pool_job_admission();
-                        self.report(p.workload.name, p.workload.source(), opts, &p.program)
+                        pool::with_span(root_id, || {
+                            self.pool_job_admission();
+                            self.report(p.workload.name, p.workload.source(), opts, &p.program)
+                        })
                     }
                 })
                 .collect(),
         );
-        out.into_iter()
+        let reports = out
+            .into_iter()
             .zip(prepared)
             .map(|(r, p)| {
                 r.unwrap_or_else(|_| {
-                    self.report(p.workload.name, p.workload.source(), &opts, &p.program)
+                    pool::with_span(root_id, || {
+                        self.report(p.workload.name, p.workload.source(), &opts, &p.program)
+                    })
                 })
             })
-            .collect()
+            .collect();
+        if let (Some(sink), Some((id, start_ns))) = (&self.sink, root) {
+            sink.record(TraceEvent::Span {
+                name: "reports",
+                detail: format!("{} workloads", prepared.len()),
+                id,
+                parent: pool::current_span(),
+                start_ns,
+                dur_ns: self.clock.now_ns().saturating_sub(start_ns),
+            });
+        }
+        reports
     }
 }
 
@@ -1308,6 +1456,62 @@ mod tests {
             }
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prepare_spans_form_a_causal_forest_that_reconciles_with_timers() {
+        use ccc_telemetry::spans::SpanForest;
+        use ccc_telemetry::SharedSink;
+        let sink = SharedSink::new(1 << 12);
+        let eng = Engine::uncached(8).with_trace_sink(sink.clone());
+        let prepared = eng.prepare(&[GOOD, ALSO_GOOD]).unwrap();
+        eng.reports(&prepared);
+        let events = sink.drain();
+        let forest = SpanForest::build(&events).expect("well-formed span forest");
+
+        // Exactly two roots: the prepare pass and the report pass.
+        let root_names: Vec<_> = forest.roots().map(|r| r.name).collect();
+        assert_eq!(root_names, vec!["prepare", "reports"]);
+
+        // Every compile/emulate/encode span parents to a workload span
+        // whose detail is its workload's name — across the stealing
+        // pool under jobs=8.
+        let node_of = |id: u64| forest.nodes().iter().find(|n| n.id == id).unwrap();
+        for n in forest.nodes() {
+            match n.name {
+                "compile" | "emulate" => {
+                    let p = node_of(n.parent);
+                    assert_eq!(p.name, "workload");
+                    assert_eq!(p.detail, n.detail, "stage span under its workload");
+                }
+                "encode" => {
+                    let p = node_of(n.parent);
+                    assert_eq!(p.name, "workload");
+                    assert!(
+                        n.detail.starts_with(&p.detail),
+                        "encode label {} under workload {}",
+                        n.detail,
+                        p.detail
+                    );
+                }
+                "report" => assert_eq!(node_of(n.parent).name, "reports"),
+                _ => {}
+            }
+        }
+
+        // Per-stage span rollups reconcile *exactly* with the engine's
+        // stage timers (both sides are fed the same start/dur pair).
+        let roll = forest.stage_rollup();
+        let snap = eng.snapshot();
+        assert_eq!(roll["compile"].total_ns, snap.compile_ns);
+        assert_eq!(roll["emulate"].total_ns, snap.emulate_ns);
+        assert_eq!(roll["encode"].total_ns, snap.encode_ns);
+        assert_eq!(roll["report"].total_ns, snap.report_ns);
+
+        // The critical path descends from the latest-finishing root.
+        let path = forest.critical_path();
+        assert!(!path.is_empty());
+        assert_eq!(path[0].parent, 0);
     }
 
     #[test]

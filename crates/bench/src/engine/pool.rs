@@ -22,9 +22,40 @@
 //! what a long-running service needs from a batch with one bad element
 //! (DESIGN.md §13).
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+
+thread_local! {
+    /// The causal span the *current* task runs under (0 = none). Set by
+    /// [`with_span`] around a task body; producers inside the task
+    /// (e.g. the engine's `cached` stage spans) read it with
+    /// [`current_span`] to parent their spans. The value travels with
+    /// the task closure, not the worker thread: whichever thread steals
+    /// the job installs the context before running it and restores the
+    /// previous value after, so parentage survives work-stealing.
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The span id the running task was scheduled under, 0 when none.
+pub fn current_span() -> u64 {
+    CURRENT_SPAN.with(Cell::get)
+}
+
+/// Runs `f` with `id` installed as the current span context, restoring
+/// the previous context afterwards — including on panic, so an isolated
+/// job failure can't leak its span onto the worker's next task.
+pub fn with_span<R>(id: u64, f: impl FnOnce() -> R) -> R {
+    struct Restore(u64);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_SPAN.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(CURRENT_SPAN.with(|c| c.replace(id)));
+    f()
+}
 
 /// A task panicked inside [`run_tasks_isolated`]: the payload,
 /// stringified, with the task's batch index.
@@ -263,6 +294,52 @@ mod tests {
         });
         assert_eq!(*out[0].as_ref().unwrap(), 1);
         assert_eq!(out[1].as_ref().unwrap_err().message, "owned payload");
+    }
+
+    #[test]
+    fn span_context_travels_with_the_task_not_the_thread() {
+        // Each task is wrapped with its own span id at submission time;
+        // whatever thread steals it must observe that id inside, and a
+        // worker's context must be clean between tasks.
+        let tasks: Vec<_> = (1..=64u64)
+            .map(|id| move || with_span(id, || (id, current_span())))
+            .collect();
+        for (expected, (id, seen)) in (1..=64u64).zip(run_tasks(8, tasks)) {
+            assert_eq!(id, expected);
+            assert_eq!(seen, expected, "task {expected} saw a foreign span");
+        }
+        assert_eq!(current_span(), 0, "caller context untouched");
+    }
+
+    #[test]
+    fn span_context_nests_and_restores() {
+        assert_eq!(current_span(), 0);
+        let inner = with_span(5, || {
+            assert_eq!(current_span(), 5);
+            with_span(9, current_span)
+        });
+        assert_eq!(inner, 9);
+        assert_eq!(current_span(), 0);
+    }
+
+    #[test]
+    fn span_context_is_restored_after_a_panicking_task() {
+        let out = quiet_panics(|| {
+            run_tasks_isolated(
+                1,
+                vec![
+                    Box::new(|| with_span(7, || -> u64 { panic!("boom") }))
+                        as Box<dyn FnOnce() -> u64 + Send>,
+                    Box::new(current_span),
+                ],
+            )
+        });
+        assert!(out[0].is_err());
+        assert_eq!(
+            *out[1].as_ref().unwrap(),
+            0,
+            "panic must not leak the span onto the next task"
+        );
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! Run-ledger glue and the regression sentinel.
+//!
+//! Record construction: every `tepic-cc` subcommand and bench binary
+//! calls [`engine_record`] / [`base_record`] at exit and hands the
+//! result to [`append_best_effort`], which honors `CCC_LEDGER` /
+//! `CCC_NO_LEDGER` and never fails the run over a ledger problem.
+//!
+//! Sentinel statistics (`tepic-cc perf --check`): records are grouped
+//! by ([`Fingerprint::key`], subcommand) — numbers are only comparable
+//! on the same host/build running the same thing — and within each
+//! group the *latest* record is judged against all earlier ones,
+//! per named sample:
+//!
+//! * **minimum-sample floor** (the `bench_best` idea: the best of N
+//!   runs is the noise floor): the latest value must not be worse than
+//!   the baseline *best* by more than the configured band;
+//! * **median/MAD change detector**: the latest value must also sit
+//!   beyond `max(3·MAD, 5% of median)` on the bad side of the baseline
+//!   median — a wide band alone would flag honest noise on tight
+//!   baselines, and MAD alone collapses when the baseline has little
+//!   spread.
+//!
+//! Both must trip to call a regression. Direction comes from the sample
+//! name (see [`direction_of`]); names with an unknown suffix are not
+//! judged. Groups with fewer than `min_samples` baseline records pass
+//! with an [`SentinelStatus::InsufficientHistory`] note.
+
+use crate::engine::Engine;
+use ccc_telemetry::ledger::{self, Fingerprint, LedgerRecord};
+use ccc_telemetry::spans::StageRollup;
+use ccc_telemetry::MetricsRegistry;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// The `--features` half of the ledger fingerprint for this build of
+/// the bench crate. Root-crate features propagate here, so this agrees
+/// with what the CLI reports.
+pub fn build_features() -> &'static str {
+    if cfg!(feature = "simd") {
+        "simd"
+    } else {
+        ""
+    }
+}
+
+/// A record with fingerprint, seed and wall-clock but no engine data.
+pub fn base_record(
+    subcommand: &str,
+    seed: u64,
+    features: &str,
+    lut_bits: u64,
+    wall_ns: u64,
+) -> LedgerRecord {
+    let mut rec = LedgerRecord::new(subcommand, Fingerprint::current(features, lut_bits));
+    rec.seed = seed;
+    rec.wall_ns = wall_ns;
+    rec.samples.insert("wall_ns".to_string(), wall_ns as f64);
+    rec
+}
+
+/// A record carrying the engine's full counter snapshot and per-stage
+/// rollups. The rollups are derived from the snapshot itself (one stage
+/// span per cold build, timer totals), so they are exact whether or not
+/// a trace sink was attached.
+pub fn engine_record(
+    subcommand: &str,
+    seed: u64,
+    features: &str,
+    lut_bits: u64,
+    engine: &Engine,
+    wall_ns: u64,
+) -> LedgerRecord {
+    let mut rec = base_record(subcommand, seed, features, lut_bits, wall_ns);
+    let snap = engine.snapshot();
+    let registry = MetricsRegistry::new();
+    snap.record_metrics(&registry);
+    rec.record_registry(&registry);
+    for (stage, count, total_ns) in [
+        ("compile", snap.program_misses, snap.compile_ns),
+        ("emulate", snap.trace_misses, snap.emulate_ns),
+        ("encode", snap.image_misses, snap.encode_ns),
+        ("report", snap.report_misses, snap.report_ns),
+    ] {
+        rec.stages
+            .insert(stage.to_string(), StageRollup { count, total_ns });
+    }
+    rec
+}
+
+/// Appends `record` to the configured ledger. Best-effort: a disabled
+/// ledger returns `None` silently, an I/O failure warns on stderr and
+/// returns `None` — a measurement run must never die over bookkeeping.
+pub fn append_best_effort(record: &LedgerRecord) -> Option<PathBuf> {
+    let path = ledger::ledger_path()?;
+    match ledger::append(&path, record) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: ledger append to {} failed: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Which way "better" points for a named sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Durations, sizes: smaller is better.
+    LowerIsBetter,
+    /// Throughputs, speedup ratios: bigger is better.
+    HigherIsBetter,
+}
+
+/// Infers the direction from the sample-name suffix; `None` means the
+/// sentinel cannot judge this sample.
+pub fn direction_of(name: &str) -> Option<Direction> {
+    if name.ends_with("_ns") || name.ends_with("_cycles") || name.ends_with("_bytes") {
+        Some(Direction::LowerIsBetter)
+    } else if name.ends_with("_mb_s") || name.ends_with("_per_s") || name.ends_with("_ratio") {
+        Some(Direction::HigherIsBetter)
+    } else {
+        None
+    }
+}
+
+/// Sentinel tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct SentinelConfig {
+    /// Relative band vs. the baseline best: a latest value worse than
+    /// `best × (1 + band)` (or below `best / (1 + band)` for
+    /// higher-is-better samples) trips the floor check.
+    pub band: f64,
+    /// Minimum baseline records before judging a group.
+    pub min_samples: usize,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> SentinelConfig {
+        SentinelConfig {
+            band: 0.5,
+            min_samples: 1,
+        }
+    }
+}
+
+/// How one (group, sample) comparison came out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SentinelStatus {
+    /// Within band, or on the good side.
+    Pass,
+    /// Worse than the baseline best by more than the band AND beyond
+    /// the median/MAD guard. `worse_by` is the ratio vs. the best
+    /// (e.g. 2.0 = twice as slow).
+    Regression {
+        /// How much worse than the baseline best, as a ratio ≥ 1.
+        worse_by: f64,
+    },
+    /// Fewer than `min_samples` baseline records: noted, not judged.
+    InsufficientHistory,
+}
+
+/// One judged sample of one group's latest record.
+#[derive(Debug, Clone)]
+pub struct SampleVerdict {
+    /// `fingerprint-key :: subcommand`.
+    pub group: String,
+    /// Sample name.
+    pub sample: String,
+    /// The latest record's value.
+    pub latest: f64,
+    /// Best baseline value (the noise floor).
+    pub best: f64,
+    /// Baseline median.
+    pub median: f64,
+    /// Baseline median absolute deviation.
+    pub mad: f64,
+    /// Baseline record count.
+    pub baseline_n: usize,
+    /// The verdict.
+    pub status: SentinelStatus,
+}
+
+/// Median absolute deviation around the median.
+pub fn mad(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    let med = crate::median(vals);
+    let dev: Vec<f64> = vals.iter().map(|v| (v - med).abs()).collect();
+    crate::median(&dev)
+}
+
+/// Judges the latest record of every (fingerprint, subcommand) group
+/// against that group's earlier records, per sample. Records must be in
+/// file (chronological) order, as [`ccc_telemetry::ledger::load`]
+/// returns them.
+pub fn check(records: &[LedgerRecord], cfg: &SentinelConfig) -> Vec<SampleVerdict> {
+    let mut groups: BTreeMap<String, Vec<&LedgerRecord>> = BTreeMap::new();
+    for rec in records {
+        let key = format!("{} :: {}", rec.fingerprint.key(), rec.subcommand);
+        groups.entry(key).or_default().push(rec);
+    }
+    let mut out = Vec::new();
+    for (group, members) in groups {
+        let (latest, baseline) = members.split_last().expect("groups are non-empty");
+        for (name, &value) in &latest.samples {
+            let Some(dir) = direction_of(name) else {
+                continue;
+            };
+            let base_vals: Vec<f64> = baseline
+                .iter()
+                .filter_map(|r| r.samples.get(name).copied())
+                .collect();
+            let mut verdict = SampleVerdict {
+                group: group.clone(),
+                sample: name.clone(),
+                latest: value,
+                best: 0.0,
+                median: 0.0,
+                mad: 0.0,
+                baseline_n: base_vals.len(),
+                status: SentinelStatus::InsufficientHistory,
+            };
+            if base_vals.len() >= cfg.min_samples {
+                let med = crate::median(&base_vals);
+                let spread = mad(&base_vals);
+                let guard = (3.0 * spread).max(0.05 * med.abs());
+                let (best, worse_by, beyond_guard) = match dir {
+                    Direction::LowerIsBetter => {
+                        let best = base_vals.iter().copied().fold(f64::INFINITY, f64::min);
+                        (best, value / best, value > med + guard)
+                    }
+                    Direction::HigherIsBetter => {
+                        let best = base_vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                        (best, best / value, value < med - guard)
+                    }
+                };
+                verdict.best = best;
+                verdict.median = med;
+                verdict.mad = spread;
+                // NaN ratios (0/0 baselines) fail the comparison and
+                // pass: no signal, no verdict.
+                verdict.status = if worse_by > 1.0 + cfg.band && beyond_guard {
+                    SentinelStatus::Regression { worse_by }
+                } else {
+                    SentinelStatus::Pass
+                };
+            }
+            out.push(verdict);
+        }
+    }
+    out
+}
+
+/// The ledger-derived floor for one higher-is-better sample: the best
+/// same-fingerprint historical value, derated by `band`. Returns `None`
+/// with fewer than `min_samples` history records — callers then fall
+/// back to their hard-coded constant, which also remains the absolute
+/// backstop (the effective floor is the max of both).
+pub fn derived_floor(
+    records: &[LedgerRecord],
+    fingerprint: &Fingerprint,
+    subcommand: &str,
+    sample: &str,
+    cfg: &SentinelConfig,
+) -> Option<f64> {
+    let vals: Vec<f64> = records
+        .iter()
+        .filter(|r| r.subcommand == subcommand && r.fingerprint.key() == fingerprint.key())
+        .filter_map(|r| r.samples.get(sample).copied())
+        .collect();
+    if vals.len() < cfg.min_samples.max(1) {
+        return None;
+    }
+    let best = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Some(best / (1.0 + cfg.band))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(subcommand: &str, samples: &[(&str, f64)]) -> LedgerRecord {
+        let mut r = LedgerRecord::new(subcommand, Fingerprint::current("", 8));
+        for (k, v) in samples {
+            r.samples.insert((*k).to_string(), *v);
+        }
+        r
+    }
+
+    #[test]
+    fn direction_inference() {
+        assert_eq!(
+            direction_of("prepare_wall_ns"),
+            Some(Direction::LowerIsBetter)
+        );
+        assert_eq!(
+            direction_of("decoded_mb_s"),
+            Some(Direction::HigherIsBetter)
+        );
+        assert_eq!(
+            direction_of("inter_over_lut_ratio"),
+            Some(Direction::HigherIsBetter)
+        );
+        assert_eq!(direction_of("mystery"), None);
+    }
+
+    #[test]
+    fn two_back_to_back_runs_pass() {
+        let records = vec![
+            rec("bench", &[("wall_ns", 100.0)]),
+            rec("bench", &[("wall_ns", 104.0)]),
+        ];
+        let verdicts = check(&records, &SentinelConfig::default());
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].status, SentinelStatus::Pass);
+    }
+
+    #[test]
+    fn injected_2x_slowdown_is_caught() {
+        let records = vec![
+            rec("bench", &[("wall_ns", 100.0)]),
+            rec("bench", &[("wall_ns", 103.0)]),
+            rec("bench", &[("wall_ns", 206.0)]),
+        ];
+        let verdicts = check(&records, &SentinelConfig::default());
+        assert_eq!(verdicts.len(), 1);
+        match &verdicts[0].status {
+            SentinelStatus::Regression { worse_by } => {
+                assert!(*worse_by > 2.0, "{worse_by}");
+            }
+            other => panic!("expected regression, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn throughput_drop_is_caught_and_gain_passes() {
+        let base = [
+            rec("decode_throughput", &[("decoded_mb_s", 2000.0)]),
+            rec("decode_throughput", &[("decoded_mb_s", 2100.0)]),
+        ];
+        let mut dropped = base.to_vec();
+        dropped.push(rec("decode_throughput", &[("decoded_mb_s", 900.0)]));
+        let v = check(&dropped, &SentinelConfig::default());
+        assert!(matches!(v[0].status, SentinelStatus::Regression { .. }));
+
+        let mut gained = base.to_vec();
+        gained.push(rec("decode_throughput", &[("decoded_mb_s", 4000.0)]));
+        let v = check(&gained, &SentinelConfig::default());
+        assert_eq!(v[0].status, SentinelStatus::Pass);
+    }
+
+    #[test]
+    fn tight_baseline_noise_is_not_flagged() {
+        // 4% jitter on a tight baseline: inside both the band and the
+        // 5%-of-median guard.
+        let records = vec![
+            rec("bench", &[("wall_ns", 100.0)]),
+            rec("bench", &[("wall_ns", 101.0)]),
+            rec("bench", &[("wall_ns", 99.0)]),
+            rec("bench", &[("wall_ns", 104.0)]),
+        ];
+        let v = check(&records, &SentinelConfig::default());
+        assert_eq!(v[0].status, SentinelStatus::Pass);
+    }
+
+    #[test]
+    fn insufficient_history_is_noted_not_failed() {
+        let records = vec![rec("bench", &[("wall_ns", 100.0)])];
+        let v = check(&records, &SentinelConfig::default());
+        assert_eq!(v[0].status, SentinelStatus::InsufficientHistory);
+        assert_eq!(v[0].baseline_n, 0);
+    }
+
+    #[test]
+    fn groups_do_not_cross_subcommands() {
+        // A slow "trace" run must not be judged against "bench" history.
+        let records = vec![
+            rec("bench", &[("wall_ns", 100.0)]),
+            rec("trace", &[("wall_ns", 250.0)]),
+        ];
+        let v = check(&records, &SentinelConfig::default());
+        for verdict in &v {
+            assert_ne!(
+                verdict.status,
+                SentinelStatus::Regression { worse_by: 2.5 },
+                "{verdict:?}"
+            );
+        }
+        let trace_v = v.iter().find(|x| x.group.ends_with(":: trace")).unwrap();
+        assert_eq!(trace_v.status, SentinelStatus::InsufficientHistory);
+    }
+
+    #[test]
+    fn derived_floor_needs_history_and_derates_the_best() {
+        let fp = Fingerprint::current("", 8);
+        let cfg = SentinelConfig::default();
+        assert_eq!(derived_floor(&[], &fp, "d", "x_mb_s", &cfg), None);
+        let records = vec![
+            rec("d", &[("x_mb_s", 3000.0)]),
+            rec("d", &[("x_mb_s", 2400.0)]),
+        ];
+        let floor = derived_floor(&records, &fp, "d", "x_mb_s", &cfg).unwrap();
+        assert!((floor - 2000.0).abs() < 1e-9, "{floor}");
+    }
+
+    #[test]
+    fn mad_helper() {
+        assert_eq!(mad(&[]), 0.0);
+        assert_eq!(mad(&[5.0]), 0.0);
+        assert!((mad(&[1.0, 2.0, 3.0, 4.0, 100.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod engine;
 pub mod figures;
+pub mod history;
 
 use ccc_core::EncodedProgram;
 use ifetch_sim::{simulate, FetchConfig, FetchResult};

@@ -33,12 +33,22 @@ pub struct TraceMeta {
     pub dropped: u64,
 }
 
-fn push_span(out: &mut String, name: &str, detail: &str, start_ns: u64, dur_ns: u64) {
+fn push_span(
+    out: &mut String,
+    name: &str,
+    detail: &str,
+    id: u64,
+    parent: u64,
+    start_ns: u64,
+    dur_ns: u64,
+) {
     // Microsecond timestamps with nanosecond precision kept in the
-    // fractional digits, as the trace-event format expects.
+    // fractional digits, as the trace-event format expects. The causal
+    // ids ride in `args` so Perfetto still renders the track while the
+    // forest stays reconstructible from the exported file.
     out.push_str(&format!(
         "{{\"name\":{},\"cat\":\"engine\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\
-         \"pid\":1,\"tid\":1,\"args\":{{\"detail\":{}}}}}",
+         \"pid\":1,\"tid\":1,\"args\":{{\"detail\":{},\"id\":{id},\"parent\":{parent}}}}}",
         escape(name),
         start_ns / 1000,
         start_ns % 1000,
@@ -101,9 +111,11 @@ pub fn chrome_trace_json(events: &[TraceEvent], meta: &TraceMeta) -> String {
             TraceEvent::Span {
                 name,
                 detail,
+                id,
+                parent,
                 start_ns,
                 dur_ns,
-            } => push_span(&mut body, name, detail, *start_ns, *dur_ns),
+            } => push_span(&mut body, name, detail, *id, *parent, *start_ns, *dur_ns),
             TraceEvent::Fetch {
                 seq,
                 cycle,
@@ -143,6 +155,8 @@ mod tests {
             TraceEvent::Span {
                 name: "compile",
                 detail: "gcc".into(),
+                id: 1,
+                parent: 0,
                 start_ns: 1500,
                 dur_ns: 2001,
             },
@@ -180,6 +194,9 @@ mod tests {
         assert_eq!(evs[0].get("ph").unwrap().as_str(), Some("X"));
         assert_eq!(evs[0].get("ts").unwrap().as_f64(), Some(1.5));
         assert_eq!(evs[0].get("dur").unwrap().as_f64(), Some(2.001));
+        let args = evs[0].get("args").unwrap();
+        assert_eq!(args.get("id").unwrap().as_f64(), Some(1.0));
+        assert_eq!(args.get("parent").unwrap().as_f64(), Some(0.0));
         assert_eq!(evs[1].get("ph").unwrap().as_str(), Some("i"));
         assert_eq!(evs[1].get("ts").unwrap().as_f64(), Some(7.0));
         assert_eq!(

@@ -15,7 +15,13 @@
 //!   monotonic production implementation and a deterministic
 //!   [`FakeClock`] for tests;
 //! * [`json`] — a minimal JSON value model and parser, used to validate
-//!   that exported traces round-trip.
+//!   that exported traces round-trip;
+//! * [`spans`] — causal span forests: reconstruction and validation of
+//!   the hierarchical span tree, critical-path extraction and
+//!   per-stage rollups (DESIGN.md §16);
+//! * [`ledger`] — the append-only, CRC-framed JSONL run ledger every
+//!   subcommand and bench binary writes, keyed by a host/build
+//!   [`ledger::Fingerprint`] (DESIGN.md §16).
 //!
 //! ## Overhead policy
 //!
@@ -31,13 +37,17 @@
 pub mod clock;
 pub mod export;
 pub mod json;
+pub mod ledger;
 pub mod registry;
+pub mod spans;
 pub mod trace;
 
 pub use clock::{Clock, FakeClock, MonotonicClock, Sleeper, ThreadSleeper};
 pub use export::{chrome_trace_json, metrics_snapshot_json, TraceMeta};
 pub use json::{parse_json, JsonError, JsonValue};
-pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use ledger::{Fingerprint, LedgerRecord, LoadOutcome, DEFAULT_LEDGER_PATH};
+pub use registry::{observe_fetch_histograms, Counter, Gauge, Histogram, MetricsRegistry};
+pub use spans::{ForestError, SpanForest, SpanNode, StageRollup};
 pub use trace::{
     EventCounts, FetchEventKind, NoopSink, RingSink, SharedSink, TraceEvent, TraceSink,
 };

@@ -117,6 +117,46 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
     }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the bucket counts,
+    /// interpolating linearly inside the bucket that holds the target
+    /// rank (the classic fixed-bucket estimator: exact at bucket edges,
+    /// off by at most one bucket width inside).
+    ///
+    /// Conventions for the open-ended parts: a target landing in the
+    /// overflow bucket reports the last bound (the estimator cannot see
+    /// past its edges); a histogram with no finite buckets reports the
+    /// mean; an empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        if self.bounds.is_empty() {
+            return self.sum() as f64 / total as f64;
+        }
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= target {
+                if i == self.bounds.len() {
+                    // Overflow bucket: clamp to the last finite edge.
+                    return self.bounds[self.bounds.len() - 1] as f64;
+                }
+                let lo = if i == 0 { 0 } else { self.bounds[i - 1] } as f64;
+                let hi = self.bounds[i] as f64;
+                let frac = (target - cum as f64) / c as f64;
+                return lo + (hi - lo) * frac.clamp(0.0, 1.0);
+            }
+            cum = next;
+        }
+        self.bounds[self.bounds.len() - 1] as f64
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -218,9 +258,12 @@ impl MetricsRegistry {
                 Metric::Gauge(g) => out.push_str(&format!("{name} = {}\n", g.get())),
                 Metric::Histogram(h) => {
                     out.push_str(&format!(
-                        "{name} = count {} sum {} buckets {:?}@{:?}\n",
+                        "{name} = count {} sum {} p50 {:.1} p90 {:.1} p99 {:.1} buckets {:?}@{:?}\n",
                         h.count(),
                         h.sum(),
+                        h.quantile(0.50),
+                        h.quantile(0.90),
+                        h.quantile(0.99),
                         h.bucket_counts(),
                         h.bounds(),
                     ));
@@ -259,12 +302,16 @@ impl MetricsRegistry {
                     let counts: Vec<String> =
                         h.bucket_counts().iter().map(u64::to_string).collect();
                     histograms.push_str(&format!(
-                        "{}:{{\"bounds\":[{}],\"counts\":[{}],\"count\":{},\"sum\":{}}}",
+                        "{}:{{\"bounds\":[{}],\"counts\":[{}],\"count\":{},\"sum\":{},\
+                         \"p50\":{:.3},\"p90\":{:.3},\"p99\":{:.3}}}",
                         json::escape(name),
                         bounds.join(","),
                         counts.join(","),
                         h.count(),
-                        h.sum()
+                        h.sum(),
+                        h.quantile(0.50),
+                        h.quantile(0.90),
+                        h.quantile(0.99)
                     ));
                 }
             }
@@ -281,6 +328,27 @@ impl MetricsRegistry {
                 _ => None,
             })
             .collect()
+    }
+}
+
+/// Folds the distribution-bearing fetch events of a drained trace into
+/// histograms: decode-stall cycles, ATB miss penalties and L0 fill
+/// sizes. The counters already hold the totals; these capture the
+/// *shape*, so a metrics snapshot can answer "p99 stall" questions.
+pub fn observe_fetch_histograms(events: &[crate::trace::TraceEvent], registry: &MetricsRegistry) {
+    use crate::trace::{FetchEventKind, TraceEvent};
+    let stalls = registry.histogram("fetch.decode_stall_cycles", &[4, 8, 16, 32, 64, 128, 256]);
+    let penalties = registry.histogram("fetch.atb_penalty_cycles", &[1, 2, 4, 8, 16, 32]);
+    let fills = registry.histogram("fetch.l0_fill_ops", &[2, 4, 8, 16, 32, 64]);
+    for ev in events {
+        if let TraceEvent::Fetch { kind, .. } = ev {
+            match kind {
+                FetchEventKind::DecodeStall { cycles } => stalls.observe(*cycles as u64),
+                FetchEventKind::AtbMiss { penalty } => penalties.observe(*penalty as u64),
+                FetchEventKind::L0Fill { ops } => fills.observe(*ops as u64),
+                _ => {}
+            }
+        }
     }
 }
 
@@ -351,6 +419,82 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.counter("x");
         reg.gauge("x");
+    }
+
+    /// Exact `q`-quantile of a sorted sample set (nearest-rank).
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn quantiles_track_a_uniform_distribution_within_a_bucket_width() {
+        let reg = MetricsRegistry::new();
+        // Bucket width 100 over uniform samples 1..=1000: the estimate
+        // must land within one bucket width of the exact quantile.
+        let bounds: Vec<u64> = (1..=10).map(|i| i * 100).collect();
+        let h = reg.histogram("u", &bounds);
+        let samples: Vec<u64> = (1..=1000).collect();
+        for &s in &samples {
+            h.observe(s);
+        }
+        for q in [0.10, 0.50, 0.90, 0.99] {
+            let exact = exact_quantile(&samples, q) as f64;
+            let est = h.quantile(q);
+            assert!(
+                (est - exact).abs() <= 100.0,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_separate_a_skewed_distribution() {
+        // A heavily skewed distribution: 90 fast samples in [0,10],
+        // 10 slow ones in (10,1000]. With an edge exactly at the split,
+        // p50 stays in the fast bucket and p99 in the slow one.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("s", &[10, 1000]);
+        let mut samples = Vec::new();
+        for i in 0..90 {
+            samples.push(i % 11);
+        }
+        for i in 0..10 {
+            samples.push(100 + i * 90);
+        }
+        for &s in &samples {
+            h.observe(s);
+        }
+        samples.sort_unstable();
+        assert!(h.quantile(0.50) <= 10.0, "p50 {}", h.quantile(0.50));
+        assert!(h.quantile(0.99) > 10.0, "p99 {}", h.quantile(0.99));
+        let exact99 = exact_quantile(&samples, 0.99) as f64;
+        assert!((h.quantile(0.99) - exact99).abs() <= 990.0);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let reg = MetricsRegistry::new();
+        let empty = reg.histogram("e", &[10]);
+        assert_eq!(empty.quantile(0.5), 0.0);
+
+        let unbounded = reg.histogram("ub", &[]);
+        unbounded.observe(4);
+        unbounded.observe(8);
+        assert_eq!(unbounded.quantile(0.5), 6.0, "no finite buckets: mean");
+
+        let overflow = reg.histogram("of", &[10]);
+        overflow.observe(1_000);
+        assert_eq!(
+            overflow.quantile(0.5),
+            10.0,
+            "overflow mass clamps to the last edge"
+        );
+
+        let h = reg.histogram("q", &[100]);
+        h.observe(50);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 100.0);
     }
 
     #[test]

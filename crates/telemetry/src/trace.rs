@@ -90,12 +90,24 @@ pub enum TraceEvent {
         kind: FetchEventKind,
     },
     /// A timed pipeline-stage span (compile/emulate/encode/cache-probe/
-    /// simulate).
+    /// simulate), a node of a causal span *tree*: `id` names the span,
+    /// `parent` points at the enclosing span (0 = root). Parentage is
+    /// assigned by the producer and survives hand-off across worker
+    /// threads (the engine's pool carries the current span id with each
+    /// job), so the forest can be reconstructed after the fact by
+    /// [`crate::spans::SpanForest::build`].
     Span {
         /// Stage name.
         name: &'static str,
         /// What was being processed (workload, artifact label).
         detail: String,
+        /// Span id, unique and non-zero within one trace. 0 is reserved
+        /// for "no span" in `parent` links; producers that don't track
+        /// causality may emit id 0, which forests treat as anonymous
+        /// roots.
+        id: u64,
+        /// Id of the enclosing span, or 0 for a root.
+        parent: u64,
         /// Start, in [`crate::Clock`] nanoseconds.
         start_ns: u64,
         /// Duration in nanoseconds.
@@ -348,6 +360,8 @@ mod tests {
         c.add(&TraceEvent::Span {
             name: "compile",
             detail: "w".into(),
+            id: 1,
+            parent: 0,
             start_ns: 0,
             dur_ns: 1,
         });

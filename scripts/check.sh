@@ -23,17 +23,25 @@ rm -rf "$CCC_SMOKE_DIR"
 rm -rf "$CCC_SMOKE_DIR"
 echo "warm rerun fully cache-served"
 
-echo "==> trace/metrics reconciliation smoke"
-# CCC_TRACE_SMOKE=1 implies --check: the emitted Chrome trace must be
-# well-formed JSON with at least one span per pipeline stage, zero
-# dropped events, and per-kind event totals that reconcile exactly with
-# the metrics snapshot (results/METRICS_full.json).
+echo "==> trace/metrics reconciliation smoke (all five schemes)"
+# CCC_TRACE_SMOKE=1 implies --check: each emitted Chrome trace must be
+# well-formed JSON with every required pipeline-stage span present for
+# that scheme (span-coverage gaps fail), causally well-formed span
+# ids/parents, zero dropped events, and per-kind event totals that
+# reconcile exactly with the metrics snapshot
+# (results/METRICS_<scheme>.json).
 CCC_TRACE_DIR="${TMPDIR:-/tmp}/ccc-trace-smoke-$$"
 mkdir -p "$CCC_TRACE_DIR"
-CCC_TRACE_SMOKE=1 ./target/release/tepic-cc trace --workload li --scheme full \
-    --out "$CCC_TRACE_DIR/trace.json" >/dev/null
+for scheme in byte stream stream_1 full tailored; do
+    CCC_TRACE_SMOKE=1 ./target/release/tepic-cc trace --workload li --scheme "$scheme" \
+        --out "$CCC_TRACE_DIR/trace-$scheme.json" >/dev/null
+    [ -s "results/METRICS_$scheme.json" ] || {
+        echo "missing results/METRICS_$scheme.json" >&2
+        exit 1
+    }
+done
 rm -rf "$CCC_TRACE_DIR"
-echo "trace reconciles with metrics snapshot"
+echo "all five schemes reconcile with their metrics snapshots"
 
 echo "==> chaos self-healing smoke"
 # CCC_CHAOS_SMOKE=1 runs one reduced chaos campaign: the full figure
@@ -76,6 +84,45 @@ echo "==> decode throughput smoke"
 CCC_DECODE_SMOKE=1 CCC_DECODE_FLOOR="${CCC_DECODE_FLOOR:-2.2}" \
     cargo bench -p ccc-bench --bench decode_throughput >/dev/null
 echo "decode floors held (LUT >= reference, interleaved >= floor x LUT, >= 1 GB/s decoded)"
+
+echo "==> perf history + regression sentinel smoke"
+# DESIGN.md §16 end-to-end (CCC_PERF_SMOKE=0 skips on very slow hosts):
+# two genuine back-to-back runs into a scratch ledger must pass
+# `perf --check`, an injected 2x slowdown must fail it, and
+# `perf --attr` must reconstruct a span forest whose per-stage rollups
+# reconcile exactly with the engine's stage timers.
+if [ "${CCC_PERF_SMOKE:-1}" = "1" ]; then
+CCC_PERF_DIR="${TMPDIR:-/tmp}/ccc-perf-smoke-$$"
+mkdir -p "$CCC_PERF_DIR"
+# Warm the artifact cache off the ledger so both measured runs have the
+# same (warm) shape — a cold+warm pair is bimodal and would make the
+# baselines meaningless.
+CCC_NO_LEDGER=1 ./target/release/tepic-cc bench --figures fig05 \
+    --cache-dir "$CCC_PERF_DIR/cache" >/dev/null
+CCC_LEDGER="$CCC_PERF_DIR/ledger.jsonl" ./target/release/tepic-cc bench \
+    --figures fig05 --cache-dir "$CCC_PERF_DIR/cache" >/dev/null
+CCC_LEDGER="$CCC_PERF_DIR/ledger.jsonl" ./target/release/tepic-cc bench \
+    --figures fig05 --cache-dir "$CCC_PERF_DIR/cache" >/dev/null
+./target/release/tepic-cc perf --check --ledger "$CCC_PERF_DIR/ledger.jsonl"
+echo "two genuine back-to-back runs pass the sentinel"
+./target/release/tepic-cc perf --inject-slowdown 2.0 \
+    --ledger "$CCC_PERF_DIR/ledger.jsonl" >/dev/null
+if ./target/release/tepic-cc perf --check \
+    --ledger "$CCC_PERF_DIR/ledger.jsonl" >/dev/null 2>&1; then
+    echo "sentinel MISSED an injected 2x slowdown" >&2
+    exit 1
+fi
+echo "injected 2x slowdown caught (non-zero exit)"
+CCC_NO_LEDGER=1 ./target/release/tepic-cc perf --attr >/dev/null
+[ -s "results/PERF_attr.txt" ] || {
+    echo "missing results/PERF_attr.txt" >&2
+    exit 1
+}
+rm -rf "$CCC_PERF_DIR"
+echo "span attribution reconciles with the engine stage timers"
+else
+echo "skipped (CCC_PERF_SMOKE=0)"
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check

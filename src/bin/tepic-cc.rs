@@ -12,6 +12,7 @@
 //! tepic-cc trace [options]            Chrome-trace + metrics snapshot of one run
 //! tepic-cc chaos [options]            self-healing audit under injected faults
 //! tepic-cc gen [options]              seeded synthetic workload corpus + calibration
+//! tepic-cc perf [options]             run-ledger sentinel + cost attribution
 //! ```
 //!
 //! With `-` as the file, source is read from stdin. `--no-opt` disables
@@ -86,12 +87,39 @@
 //! generated-vs-target op mix per category with a 5 pp acceptance bound.
 //! The exit code is non-zero if the generated mix lands out of band.
 //! `CCC_GEN_SMOKE=1` in the environment implies `--campaign`.
+//!
+//! `perf` options (DESIGN.md §16):
+//!
+//! ```text
+//! --check              judge the latest ledger record of every
+//!                      (fingerprint, subcommand) group against its
+//!                      history; non-zero exit on any regression
+//! --attr               cold in-process `bench --all` pipeline with the
+//!                      trace sink on; reconstructs the causal span
+//!                      forest, prints the per-workload/per-scheme/
+//!                      per-stage cost-attribution tree and the critical
+//!                      path (also written to results/PERF_attr.txt)
+//! --ledger <file>      ledger to read/write (default CCC_LEDGER or
+//!                      results/history/ledger.jsonl)
+//! --band <frac>        regression band vs. the baseline best
+//!                      (default 0.5 = flag beyond 1.5x)
+//! --min-samples <N>    baseline records required before judging
+//! --inject-slowdown <f> append a synthetic copy of each group's latest
+//!                      record degraded by factor f (test fixture)
+//! --jobs <N>           worker threads for --attr
+//! ```
+//!
+//! Every subcommand appends one CRC-framed JSONL record (host/build
+//! fingerprint, counters, per-stage rollups, wall-clock samples) to the
+//! run ledger on success; `CCC_NO_LEDGER=1` disables the append,
+//! `CCC_LEDGER` relocates the file.
 
 use std::io::Read;
 use std::process::ExitCode;
 use std::time::Instant;
+use tepic_ccc::bench::engine::cache::write_atomic;
 use tepic_ccc::bench::engine::Engine;
-use tepic_ccc::bench::{figures, Prepared};
+use tepic_ccc::bench::{figures, history, Prepared};
 use tepic_ccc::ccc::pla::emit_tailored_decoder_verilog;
 use tepic_ccc::ccc::schemes::tailored::TailoredSpec;
 use tepic_ccc::prelude::*;
@@ -106,9 +134,38 @@ fn usage() -> ExitCode {
          \x20      tepic-cc chaos [--seed <u64>] [--sites <spec>] [--runs <N>] [--jobs <N>] \
          [--out <file>]\n\
          \x20      tepic-cc gen [--seed <u64>] [--tier <t>] [--flavor <f>] [--out <dir>] \
-         [--report <file>] [--campaign]"
+         [--report <file>] [--campaign]\n\
+         \x20      tepic-cc perf [--check] [--attr] [--ledger <file>] [--band <frac>] \
+         [--min-samples <N>] [--inject-slowdown <f>] [--jobs <N>]"
     );
     ExitCode::from(2)
+}
+
+/// The compiled feature set, as recorded in ledger fingerprints: ledger
+/// baselines from a simd build must not gate a baseline build.
+fn build_features() -> &'static str {
+    if cfg!(feature = "simd") {
+        "simd"
+    } else {
+        ""
+    }
+}
+
+/// The shared tail of every single-file subcommand: appends the run's
+/// ledger record (fingerprint, engine counters, stage rollups,
+/// wall-clock) and reports success. Failed runs never reach this, so
+/// aborted-early wall times cannot poison the sentinel's baselines.
+fn finish_file_cmd(cmd: &str, seed: u64, engine: &Engine, t0: Instant) -> ExitCode {
+    let rec = history::engine_record(
+        cmd,
+        seed,
+        build_features(),
+        0,
+        engine,
+        t0.elapsed().as_nanos() as u64,
+    );
+    history::append_best_effort(&rec);
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -124,6 +181,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("gen") {
         return gen_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("perf") {
+        return perf_cmd(&args[1..]);
     }
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) => (c.as_str(), f.as_str()),
@@ -144,6 +204,14 @@ fn main() -> ExitCode {
             }
         },
     };
+
+    // The input's file stem joins the ledger group label so runs over
+    // different programs never share a sentinel baseline.
+    let stem = std::path::Path::new(file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("stdin");
+    let cmd_group = format!("{cmd}/{stem}");
 
     let source = if file == "-" {
         let mut s = String::new();
@@ -168,6 +236,7 @@ fn main() -> ExitCode {
     };
     // The file's path names the cached artifacts; the key still hashes
     // the source text, so editing the file misses cleanly.
+    let t0 = Instant::now();
     let engine = Engine::from_env();
     let program = match engine.program(file, &source, &opts) {
         Ok(p) => p,
@@ -181,7 +250,7 @@ fn main() -> ExitCode {
         "run" => match Emulator::new(&program).run(&Limits::default()) {
             Ok(r) => {
                 print!("{}", r.output);
-                ExitCode::SUCCESS
+                finish_file_cmd(&cmd_group, seed, &engine, t0)
             }
             Err(e) => {
                 eprintln!("tepic-cc: runtime error: {e}");
@@ -190,11 +259,11 @@ fn main() -> ExitCode {
         },
         "disasm" => {
             print!("{}", program.listing());
-            ExitCode::SUCCESS
+            finish_file_cmd(&cmd_group, seed, &engine, t0)
         }
         "report" => {
             print!("{}", engine.report(file, &source, &opts, &program));
-            ExitCode::SUCCESS
+            finish_file_cmd(&cmd_group, seed, &engine, t0)
         }
         "verilog" => {
             let spec = TailoredSpec::compute(&program);
@@ -202,7 +271,7 @@ fn main() -> ExitCode {
                 "{}",
                 emit_tailored_decoder_verilog(&spec, "tepic_tailored_decoder")
             );
-            ExitCode::SUCCESS
+            finish_file_cmd(&cmd_group, seed, &engine, t0)
         }
         "sim" => {
             let trace = match engine.trace(file, &source, &opts, &program) {
@@ -243,7 +312,7 @@ fn main() -> ExitCode {
                     r.bus_bit_flips
                 );
             }
-            ExitCode::SUCCESS
+            finish_file_cmd(&cmd_group, seed, &engine, t0)
         }
         "faultsim" => {
             let cfg = CampaignConfig {
@@ -259,7 +328,7 @@ fn main() -> ExitCode {
             println!();
             println!("metrics ({} series):", registry.len());
             print!("{}", registry.dump_text());
-            ExitCode::SUCCESS
+            finish_file_cmd(&cmd_group, seed, &engine, t0)
         }
         "stats" => {
             println!("functions   : {}", program.funcs().len());
@@ -306,7 +375,7 @@ fn main() -> ExitCode {
                 ms(snap.compile_ns),
                 ms(snap.emulate_ns),
             );
-            ExitCode::SUCCESS
+            finish_file_cmd(&cmd_group, seed, &engine, t0)
         }
         _ => usage(),
     }
@@ -438,14 +507,25 @@ fn bench_cmd(args: &[String]) -> ExitCode {
         }
     };
 
-    let selected: Vec<String> = match figure_list {
-        Some(list) => list,
-        None if all => CORE_FIGURES
-            .iter()
-            .chain(EXT_FIGURES.iter())
-            .map(|s| s.to_string())
-            .collect(),
-        None => CORE_FIGURES.iter().map(|s| s.to_string()).collect(),
+    // The figure selection joins the ledger group label — a fig05-only
+    // run and the full core set are not comparable wall-clocks.
+    let (selected, figure_label): (Vec<String>, String) = match figure_list {
+        Some(list) => {
+            let label = list.join("+");
+            (list, label)
+        }
+        None if all => (
+            CORE_FIGURES
+                .iter()
+                .chain(EXT_FIGURES.iter())
+                .map(|s| s.to_string())
+                .collect(),
+            "all".to_string(),
+        ),
+        None => (
+            CORE_FIGURES.iter().map(|s| s.to_string()).collect(),
+            "core".to_string(),
+        ),
     };
     for name in &selected {
         if !CORE_FIGURES.contains(&name.as_str()) && !EXT_FIGURES.contains(&name.as_str()) {
@@ -599,13 +679,32 @@ fn bench_cmd(args: &[String]) -> ExitCode {
         }
         println!("  warm-cache assertion held: 0 misses, {expected_images} image hits.");
     }
+
+    let mut rec = history::engine_record(
+        &format!("bench/{figure_label}"),
+        0,
+        build_features(),
+        0,
+        &engine,
+        t0.elapsed().as_nanos() as u64,
+    );
+    rec.samples.insert(
+        "prepare_wall_ns".to_string(),
+        prepare_wall.as_nanos() as f64,
+    );
+    rec.samples
+        .insert("figures_wall_ns".to_string(), render_wall.as_nanos() as f64);
+    history::append_best_effort(&rec);
     ExitCode::SUCCESS
 }
 
 fn trace_cmd(args: &[String]) -> ExitCode {
     use tepic_ccc::telemetry::{
-        chrome_trace_json, metrics_snapshot_json, Clock, MonotonicClock, TraceEvent, TraceMeta,
+        chrome_trace_json, metrics_snapshot_json, observe_fetch_histograms, Clock, MonotonicClock,
+        TraceEvent, TraceMeta,
     };
+
+    let t0 = Instant::now();
 
     let mut workload: Option<String> = None;
     let mut scheme = "full".to_string();
@@ -693,10 +792,12 @@ fn trace_cmd(args: &[String]) -> ExitCode {
 
     // Base and Tailored fetch uncompressed/re-laid-out code — no serial
     // decoder on their hit path; everything else decompresses for real.
+    let clock = MonotonicClock::new();
     let (cfg, codec) = match scheme.as_str() {
         "base" => (FetchConfig::base(), None),
         "tailored" => (FetchConfig::tailored(), None),
         _ => {
+            let codec_start = clock.now_ns();
             let out = match tepic_ccc::bench::engine::scheme_by_name(&scheme)
                 .expect("validated above")
                 .compress(&program)
@@ -707,11 +808,18 @@ fn trace_cmd(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            sink.record(TraceEvent::Span {
+                name: "codec",
+                detail: format!("{}/{scheme}", w.name),
+                id: engine.next_span_id(),
+                parent: 0,
+                start_ns: codec_start,
+                dur_ns: clock.now_ns().saturating_sub(codec_start),
+            });
             (FetchConfig::compressed(), Some(out.codec))
         }
     };
 
-    let clock = MonotonicClock::new();
     let mut fetch_sink = sink.clone();
     let sim_start = clock.now_ns();
     let (result, dstats) = match &codec {
@@ -723,11 +831,14 @@ fn trace_cmd(args: &[String]) -> ExitCode {
             DecodeStats::default(),
         ),
     };
+    let sim_ns = clock.now_ns().saturating_sub(sim_start);
     sink.record(TraceEvent::Span {
         name: "simulate",
         detail: format!("{}/{}", w.name, scheme),
+        id: engine.next_span_id(),
+        parent: 0,
         start_ns: sim_start,
-        dur_ns: clock.now_ns().saturating_sub(sim_start),
+        dur_ns: sim_ns,
     });
 
     let registry = MetricsRegistry::new();
@@ -742,16 +853,18 @@ fn trace_cmd(args: &[String]) -> ExitCode {
         dropped: sink.dropped(),
     };
     let events = sink.drain();
+    // The instant events carry the stall/penalty/fill distributions the
+    // counters flatten; fold them into histograms so the snapshot's
+    // quantiles mean something.
+    observe_fetch_histograms(&events, &registry);
     let trace_json = chrome_trace_json(&events, &meta);
     let metrics_json = metrics_snapshot_json(&registry, &meta);
-    if let Err(e) = std::fs::write(&out_path, &trace_json) {
+    if let Err(e) = write_atomic(&out_path, trace_json.as_bytes()) {
         eprintln!("tepic-cc trace: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
     }
     let metrics_path = format!("results/METRICS_{scheme}.json");
-    if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write(&metrics_path, &metrics_json))
-    {
+    if let Err(e) = write_atomic(&metrics_path, metrics_json.as_bytes()) {
         eprintln!("tepic-cc trace: cannot write {metrics_path}: {e}");
         return ExitCode::FAILURE;
     }
@@ -772,14 +885,28 @@ fn trace_cmd(args: &[String]) -> ExitCode {
         dstats.long_fallbacks
     );
     if check {
-        match validate_trace(&trace_json, &metrics_json) {
-            Ok(()) => println!("check: trace/metrics reconciliation held"),
+        match validate_trace(&trace_json, &metrics_json, &scheme) {
+            Ok(()) => println!("check: trace/metrics reconciliation and span coverage held"),
             Err(e) => {
                 eprintln!("tepic-cc trace: check failed: {e}");
                 return ExitCode::FAILURE;
             }
         }
     }
+
+    // Scheme and workload join the group label: a tailored-scheme trace
+    // and a full-scheme trace have different cost shapes, and the
+    // sentinel must only compare like with like.
+    let mut rec = history::engine_record(
+        &format!("trace/{}/{scheme}", w.name),
+        0,
+        build_features(),
+        0,
+        &engine,
+        t0.elapsed().as_nanos() as u64,
+    );
+    rec.samples.insert("simulate_ns".to_string(), sim_ns as f64);
+    history::append_best_effort(&rec);
     ExitCode::SUCCESS
 }
 
@@ -1173,12 +1300,7 @@ fn chaos_cmd(args: &[String]) -> ExitCode {
             .join(", "),
         run_jsons.join(",\n"),
     );
-    if let Some(parent) = std::path::Path::new(&out_path).parent() {
-        if !parent.as_os_str().is_empty() {
-            let _ = std::fs::create_dir_all(parent);
-        }
-    }
-    if let Err(e) = std::fs::write(&out_path, &report) {
+    if let Err(e) = write_atomic(&out_path, report.as_bytes()) {
         eprintln!("tepic-cc chaos: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
     }
@@ -1190,6 +1312,21 @@ fn chaos_cmd(args: &[String]) -> ExitCode {
     );
     if all_ok {
         println!("chaos: all figures byte-identical under fault injection; recovery reconciled.");
+        // Smoke (one run) and full campaigns are different workloads to
+        // the sentinel.
+        let mode = if std::env::var("CCC_CHAOS_SMOKE").is_ok_and(|v| v == "1") {
+            "smoke"
+        } else {
+            "full"
+        };
+        let rec = history::base_record(
+            &format!("chaos/{mode}"),
+            seed,
+            build_features(),
+            0,
+            t0.elapsed().as_nanos() as u64,
+        );
+        history::append_best_effort(&rec);
         ExitCode::SUCCESS
     } else {
         eprintln!("tepic-cc chaos: FAILED (see {out_path})");
@@ -1198,10 +1335,12 @@ fn chaos_cmd(args: &[String]) -> ExitCode {
 }
 
 /// Cross-checks an emitted Chrome trace against its metrics snapshot:
-/// both parse, every pipeline stage has a span, nothing was dropped,
-/// and the per-kind event totals agree with the `fetch.*` counters —
-/// the CLI-level version of the engine's internal reconciliation.
-fn validate_trace(trace_json: &str, metrics_json: &str) -> Result<(), String> {
+/// both parse, every pipeline stage the traced scheme exercises has a
+/// span, the span ids/parents form a well-formed forest, nothing was
+/// dropped, and the per-kind event totals agree with the `fetch.*`
+/// counters — the CLI-level version of the engine's internal
+/// reconciliation.
+fn validate_trace(trace_json: &str, metrics_json: &str, scheme: &str) -> Result<(), String> {
     use tepic_ccc::telemetry::{parse_json, JsonValue};
     let t = parse_json(trace_json).map_err(|e| format!("trace JSON: {e}"))?;
     let m = parse_json(metrics_json).map_err(|e| format!("metrics JSON: {e}"))?;
@@ -1209,7 +1348,15 @@ fn validate_trace(trace_json: &str, metrics_json: &str) -> Result<(), String> {
         .get("traceEvents")
         .and_then(JsonValue::as_arr)
         .ok_or("traceEvents missing")?;
-    for stage in ["compile", "emulate", "encode", "simulate"] {
+    // Per-scheme span coverage: every scheme runs the engine stages and
+    // the fetch simulation; the compressed schemes must additionally
+    // show the codec-construction span (base and tailored fetch without
+    // a serial decoder, so demanding it there would always fail).
+    let mut required = vec!["compile", "emulate", "encode", "simulate"];
+    if !matches!(scheme, "base" | "tailored") {
+        required.push("codec");
+    }
+    for stage in required {
         let n = events
             .iter()
             .filter(|e| {
@@ -1218,7 +1365,40 @@ fn validate_trace(trace_json: &str, metrics_json: &str) -> Result<(), String> {
             })
             .count();
         if n == 0 {
-            return Err(format!("no {stage} span in trace"));
+            return Err(format!("no {stage} span in trace (scheme {scheme})"));
+        }
+    }
+    // Causal integrity of the emitted spans: ids unique and non-zero,
+    // every parent link resolving to a span in the same trace.
+    let mut span_ids = Vec::new();
+    for e in events.iter() {
+        if e.get("ph").and_then(JsonValue::as_str) != Some("X") {
+            continue;
+        }
+        let args = e.get("args").ok_or("span without args")?;
+        let id = args
+            .get("id")
+            .and_then(JsonValue::as_f64)
+            .ok_or("span without id")?;
+        if id == 0.0 {
+            return Err("span with id 0".to_string());
+        }
+        if span_ids.contains(&id) {
+            return Err(format!("duplicate span id {id}"));
+        }
+        span_ids.push(id);
+    }
+    for e in events.iter() {
+        if e.get("ph").and_then(JsonValue::as_str) != Some("X") {
+            continue;
+        }
+        let parent = e
+            .get("args")
+            .and_then(|a| a.get("parent"))
+            .and_then(JsonValue::as_f64)
+            .ok_or("span without parent")?;
+        if parent != 0.0 && !span_ids.contains(&parent) {
+            return Err(format!("span parent {parent} names no span"));
         }
     }
     let meta = t.get("metadata").ok_or("metadata missing")?;
@@ -1359,7 +1539,7 @@ fn gen_cmd(args: &[String]) -> ExitCode {
     let mut manifest = String::new();
     for gp in &corpus.programs {
         let path = format!("{out_dir}/{}.tink", gp.name);
-        if let Err(e) = std::fs::write(&path, &gp.source) {
+        if let Err(e) = write_atomic(&path, gp.source.as_bytes()) {
             eprintln!("tepic-cc gen: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -1370,7 +1550,7 @@ fn gen_cmd(args: &[String]) -> ExitCode {
             gp.source.len()
         ));
     }
-    if let Err(e) = std::fs::write(format!("{out_dir}/MANIFEST.txt"), &manifest) {
+    if let Err(e) = write_atomic(format!("{out_dir}/MANIFEST.txt"), manifest.as_bytes()) {
         eprintln!("tepic-cc gen: cannot write manifest: {e}");
         return ExitCode::FAILURE;
     }
@@ -1452,10 +1632,7 @@ fn gen_cmd(args: &[String]) -> ExitCode {
         campaign,
     };
 
-    if let Some(dir) = std::path::Path::new(&report_path).parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    if let Err(e) = std::fs::write(&report_path, report.to_json()) {
+    if let Err(e) = write_atomic(&report_path, report.to_json().as_bytes()) {
         eprintln!("tepic-cc gen: cannot write {report_path}: {e}");
         return ExitCode::FAILURE;
     }
@@ -1467,6 +1644,15 @@ fn gen_cmd(args: &[String]) -> ExitCode {
         start.elapsed().as_secs_f64()
     );
     if report.ok() {
+        let rec = history::engine_record(
+            &format!("gen/{}", tier.name()),
+            seed,
+            build_features(),
+            0,
+            &engine,
+            start.elapsed().as_nanos() as u64,
+        );
+        history::append_best_effort(&rec);
         ExitCode::SUCCESS
     } else {
         eprintln!(
@@ -1476,4 +1662,381 @@ fn gen_cmd(args: &[String]) -> ExitCode {
         );
         ExitCode::FAILURE
     }
+}
+
+fn perf_cmd(args: &[String]) -> ExitCode {
+    use std::path::PathBuf;
+    use tepic_ccc::bench::history::SentinelConfig;
+    use tepic_ccc::telemetry::ledger;
+
+    let mut do_check = false;
+    let mut do_attr = false;
+    let mut ledger_override: Option<PathBuf> = None;
+    let mut cfg = SentinelConfig::default();
+    let mut inject: Option<f64> = None;
+    let mut jobs: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => do_check = true,
+            "--attr" => do_attr = true,
+            "--ledger" => match it.next() {
+                Some(p) => ledger_override = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("tepic-cc perf: --ledger needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--band" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(b)) if b >= 0.0 => cfg.band = b,
+                _ => {
+                    eprintln!("tepic-cc perf: --band wants a non-negative fraction (0.5 = 1.5x)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--min-samples" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => cfg.min_samples = n,
+                _ => {
+                    eprintln!("tepic-cc perf: --min-samples wants a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--inject-slowdown" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(f)) if f > 0.0 => inject = Some(f),
+                _ => {
+                    eprintln!("tepic-cc perf: --inject-slowdown wants a positive factor");
+                    return ExitCode::from(2);
+                }
+            },
+            "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => jobs = Some(n),
+                _ => {
+                    eprintln!("tepic-cc perf: --jobs wants a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("tepic-cc perf: unknown option {other}");
+                return usage();
+            }
+        }
+    }
+    // The explicit flag wins over CCC_LEDGER; a CCC_NO_LEDGER run can
+    // still *read* the default ledger — the variable gates appends, not
+    // the sentinel.
+    let path = ledger_override
+        .or_else(ledger::ledger_path)
+        .unwrap_or_else(|| PathBuf::from(ledger::DEFAULT_LEDGER_PATH));
+
+    let mut ok = true;
+    if let Some(factor) = inject {
+        ok &= perf_inject(&path, factor);
+    }
+    if do_attr {
+        let jobs = jobs
+            .or_else(|| {
+                std::env::var("CCC_JOBS")
+                    .ok()
+                    .and_then(|v| v.parse::<usize>().ok())
+            })
+            .unwrap_or_else(tepic_ccc::bench::engine::default_jobs);
+        ok &= perf_attr(jobs);
+    }
+    if do_check {
+        ok &= perf_check(&path, &cfg);
+    }
+    if inject.is_none() && !do_attr && !do_check {
+        ok = perf_summary(&path);
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `perf --inject-slowdown`: appends a synthetic copy of each group's
+/// latest record degraded by `factor` — the test fixture the perf smoke
+/// uses to prove the sentinel actually fires.
+fn perf_inject(path: &std::path::Path, factor: f64) -> bool {
+    use std::collections::BTreeMap;
+    use tepic_ccc::bench::history::{direction_of, Direction};
+    use tepic_ccc::telemetry::{ledger, LedgerRecord};
+
+    let outcome = match ledger::load(path) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("tepic-cc perf: cannot read {}: {e}", path.display());
+            return false;
+        }
+    };
+    if outcome.records.is_empty() {
+        eprintln!(
+            "tepic-cc perf: {} holds no records to degrade",
+            path.display()
+        );
+        return false;
+    }
+    let mut latest: BTreeMap<String, LedgerRecord> = BTreeMap::new();
+    for rec in outcome.records {
+        let key = format!("{} :: {}", rec.fingerprint.key(), rec.subcommand);
+        latest.insert(key, rec);
+    }
+    let mut appended = 0usize;
+    for (_, mut rec) in latest {
+        rec.wall_ns = (rec.wall_ns as f64 * factor) as u64;
+        for (name, v) in rec.samples.iter_mut() {
+            match direction_of(name) {
+                Some(Direction::LowerIsBetter) => *v *= factor,
+                Some(Direction::HigherIsBetter) => *v /= factor,
+                None => {}
+            }
+        }
+        if let Err(e) = ledger::append(path, &rec) {
+            eprintln!("tepic-cc perf: cannot append to {}: {e}", path.display());
+            return false;
+        }
+        appended += 1;
+    }
+    println!(
+        "perf: appended {appended} synthetic record(s) degraded {factor:.2}x to {}",
+        path.display()
+    );
+    true
+}
+
+/// `perf --check`: the regression sentinel. Judges the latest record of
+/// every (fingerprint, subcommand) ledger group against that group's
+/// history and reports false on any regression beyond the band.
+fn perf_check(path: &std::path::Path, cfg: &tepic_ccc::bench::history::SentinelConfig) -> bool {
+    use tepic_ccc::bench::history::SentinelStatus;
+    use tepic_ccc::telemetry::ledger;
+
+    let outcome = match ledger::load(path) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("tepic-cc perf: cannot read {}: {e}", path.display());
+            return false;
+        }
+    };
+    if outcome.skipped > 0 {
+        eprintln!(
+            "perf: note: skipped {} unreadable ledger line(s)",
+            outcome.skipped
+        );
+    }
+    if outcome.records.is_empty() {
+        println!(
+            "perf check: {} holds no records; nothing to judge",
+            path.display()
+        );
+        return true;
+    }
+    let verdicts = history::check(&outcome.records, cfg);
+    let (mut passed, mut fresh, mut regressions) = (0usize, 0usize, 0usize);
+    for v in &verdicts {
+        match &v.status {
+            SentinelStatus::Pass => passed += 1,
+            SentinelStatus::InsufficientHistory => fresh += 1,
+            SentinelStatus::Regression { worse_by } => {
+                regressions += 1;
+                eprintln!(
+                    "REGRESSION: {} / {}: latest {:.0} vs best {:.0} ({:.2}x worse; \
+                     baseline median {:.0}, MAD {:.0}, n={})",
+                    v.group, v.sample, v.latest, v.best, worse_by, v.median, v.mad, v.baseline_n
+                );
+            }
+        }
+    }
+    println!(
+        "perf check: {} record(s); {} sample(s): {} pass, {} without history, \
+         {} regression(s) (band {:.0}%, min-samples {})",
+        outcome.records.len(),
+        verdicts.len(),
+        passed,
+        fresh,
+        regressions,
+        cfg.band * 100.0,
+        cfg.min_samples
+    );
+    regressions == 0
+}
+
+/// Bare `perf`: a one-screen inventory of the ledger's groups.
+fn perf_summary(path: &std::path::Path) -> bool {
+    use std::collections::BTreeMap;
+    use tepic_ccc::telemetry::ledger;
+
+    let outcome = match ledger::load(path) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("tepic-cc perf: cannot read {}: {e}", path.display());
+            return false;
+        }
+    };
+    let mut groups: BTreeMap<String, usize> = BTreeMap::new();
+    for rec in &outcome.records {
+        let key = format!("{} :: {}", rec.fingerprint.key(), rec.subcommand);
+        *groups.entry(key).or_default() += 1;
+    }
+    println!(
+        "ledger {}: {} record(s), {} skipped line(s), {} group(s)",
+        path.display(),
+        outcome.records.len(),
+        outcome.skipped,
+        groups.len()
+    );
+    for (g, n) in &groups {
+        println!("  {n:>4}  {g}");
+    }
+    true
+}
+
+/// One line of the attribution tree, then the node's children sorted by
+/// start time.
+fn render_span_tree(
+    out: &mut String,
+    forest: &tepic_ccc::telemetry::SpanForest,
+    node: &tepic_ccc::telemetry::SpanNode,
+    depth: usize,
+) {
+    use std::fmt::Write as _;
+    let label = if node.detail.is_empty() {
+        node.name.to_string()
+    } else {
+        format!("{} {}", node.name, node.detail)
+    };
+    let _ = writeln!(
+        out,
+        "{:indent$}{label:<width$} {dur:>9.2} ms",
+        "",
+        indent = depth * 2,
+        width = 36usize.saturating_sub(depth * 2),
+        dur = node.dur_ns as f64 / 1e6
+    );
+    let mut kids: Vec<_> = forest.children_of(node.id).collect();
+    kids.sort_by_key(|n| (n.start_ns, n.id));
+    for k in kids {
+        render_span_tree(out, forest, k, depth + 1);
+    }
+}
+
+/// `perf --attr`: a cold in-process figure pipeline with the trace sink
+/// on; reconstructs the causal span forest, cross-checks its per-stage
+/// rollups *exactly* against the engine's stage timers, and prints the
+/// per-workload / per-scheme / per-stage attribution tree plus the
+/// critical path (also written to `results/PERF_attr.txt`).
+fn perf_attr(jobs: usize) -> bool {
+    use std::fmt::Write as _;
+    use tepic_ccc::telemetry::SpanForest;
+
+    eprintln!("tepic-cc perf: cold attribution run (jobs={jobs})");
+    let sink = SharedSink::new(1 << 16);
+    let engine = Engine::uncached(jobs).with_trace_sink(sink.clone());
+    let t0 = Instant::now();
+    let prepared = match engine.prepare_all() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("tepic-cc perf: {e}");
+            return false;
+        }
+    };
+    let reports = engine.reports(&prepared);
+    let wall = t0.elapsed();
+    std::hint::black_box(&reports);
+    if sink.dropped() > 0 {
+        eprintln!(
+            "tepic-cc perf: {} event(s) dropped from the ring; span forest incomplete",
+            sink.dropped()
+        );
+        return false;
+    }
+    let events = sink.drain();
+    let forest = match SpanForest::build(&events) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("tepic-cc perf: span forest invalid: {e}");
+            return false;
+        }
+    };
+
+    // The attribution is only trustworthy if the span view and the
+    // engine's own stage timers agree to the nanosecond — both sides
+    // are fed the same start/duration pair, so any drift is a bug.
+    let snap = engine.snapshot();
+    let roll = forest.stage_rollup();
+    let total_of = |stage: &str| roll.get(stage).map(|r| r.total_ns).unwrap_or(0);
+    for (stage, timer_ns) in [
+        ("compile", snap.compile_ns),
+        ("emulate", snap.emulate_ns),
+        ("encode", snap.encode_ns),
+        ("report", snap.report_ns),
+    ] {
+        if total_of(stage) != timer_ns {
+            eprintln!(
+                "tepic-cc perf: {stage} span rollup {} ns != engine timer {} ns",
+                total_of(stage),
+                timer_ns
+            );
+            return false;
+        }
+    }
+
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "cost attribution — cold figure pipeline, jobs={jobs}, wall {:.1} ms",
+        wall.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(text);
+    for root in forest.roots() {
+        render_span_tree(&mut text, &forest, root, 1);
+    }
+    let _ = writeln!(
+        text,
+        "\nper-stage rollup (reconciles exactly with the engine timers):"
+    );
+    for (stage, r) in &roll {
+        let _ = writeln!(
+            text,
+            "  {stage:<12} {:>4}x {:>9.2} ms",
+            r.count,
+            ms(r.total_ns)
+        );
+    }
+    let path = forest.critical_path();
+    let _ = writeln!(text, "\ncritical path (the chain that bounded wall-clock):");
+    for (i, n) in path.iter().enumerate() {
+        let _ = writeln!(
+            text,
+            "  {}{} {} — {:.2} ms",
+            "  ".repeat(i),
+            n.name,
+            n.detail,
+            ms(n.dur_ns)
+        );
+    }
+
+    print!("{text}");
+    if let Err(e) = write_atomic("results/PERF_attr.txt", text.as_bytes()) {
+        eprintln!("tepic-cc perf: cannot write results/PERF_attr.txt: {e}");
+        return false;
+    }
+    println!(
+        "attribution: {} span(s), critical path {} deep -> results/PERF_attr.txt",
+        forest.nodes().len(),
+        path.len()
+    );
+
+    let rec = history::engine_record(
+        "perf_attr",
+        0,
+        build_features(),
+        0,
+        &engine,
+        wall.as_nanos() as u64,
+    );
+    history::append_best_effort(&rec);
+    true
 }

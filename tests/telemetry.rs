@@ -143,14 +143,21 @@ fn trace_event() -> impl Strategy<Value = TraceEvent> {
                 kind
             }
         ),
-        (detail_string(), 0u64..1 << 50, 0u64..1_000_000u64).prop_map(
-            |(detail, start_ns, dur_ns)| TraceEvent::Span {
+        (
+            detail_string(),
+            1u64..1 << 20,
+            0u64..1 << 20,
+            0u64..1 << 50,
+            0u64..1_000_000u64
+        )
+            .prop_map(|(detail, id, parent, start_ns, dur_ns)| TraceEvent::Span {
                 name: "compile",
                 detail,
+                id,
+                parent,
                 start_ns,
                 dur_ns
-            }
-        ),
+            }),
     ]
 }
 
