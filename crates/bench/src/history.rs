@@ -350,6 +350,94 @@ mod tests {
     }
 
     #[test]
+    fn serve_ledger_samples_are_judgeable() {
+        // The serve/loadgen tier's sample names must land on the right
+        // side of the direction inference: req/s up is good, tail
+        // latency down is good.
+        assert_eq!(
+            direction_of("throughput_per_s"),
+            Some(Direction::HigherIsBetter)
+        );
+        for latency in ["hot_p50_ns", "hot_p99_ns", "cold_p50_ns", "cold_p99_ns"] {
+            assert_eq!(
+                direction_of(latency),
+                Some(Direction::LowerIsBetter),
+                "{latency}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_throughput_collapse_and_tail_blowup_are_caught() {
+        let base = [
+            rec(
+                "serve/loadgen",
+                &[("throughput_per_s", 800.0), ("hot_p99_ns", 2_000_000.0)],
+            ),
+            rec(
+                "serve/loadgen",
+                &[("throughput_per_s", 840.0), ("hot_p99_ns", 2_100_000.0)],
+            ),
+        ];
+
+        // Halved throughput on the latest run trips the sentinel.
+        let mut collapsed = base.to_vec();
+        collapsed.push(rec(
+            "serve/loadgen",
+            &[("throughput_per_s", 300.0), ("hot_p99_ns", 2_050_000.0)],
+        ));
+        let v = check(&collapsed, &SentinelConfig::default());
+        let s = v
+            .iter()
+            .find(|x| x.group.ends_with(":: serve/loadgen") && x.sample == "throughput_per_s")
+            .unwrap();
+        assert!(
+            matches!(s.status, SentinelStatus::Regression { .. }),
+            "{v:?}"
+        );
+
+        // A 4x hot-path p99 blowup trips it even with throughput held.
+        let mut blown = base.to_vec();
+        blown.push(rec(
+            "serve/loadgen",
+            &[("throughput_per_s", 820.0), ("hot_p99_ns", 8_400_000.0)],
+        ));
+        let v = check(&blown, &SentinelConfig::default());
+        let s = v
+            .iter()
+            .find(|x| x.group.ends_with(":: serve/loadgen") && x.sample == "hot_p99_ns")
+            .unwrap();
+        assert!(
+            matches!(s.status, SentinelStatus::Regression { .. }),
+            "{v:?}"
+        );
+
+        // Faster and higher-throughput passes clean on every sample.
+        let mut improved = base.to_vec();
+        improved.push(rec(
+            "serve/loadgen",
+            &[("throughput_per_s", 1600.0), ("hot_p99_ns", 1_000_000.0)],
+        ));
+        let v = check(&improved, &SentinelConfig::default());
+        for s in v.iter().filter(|x| x.group.ends_with(":: serve/loadgen")) {
+            assert_eq!(s.status, SentinelStatus::Pass, "{v:?}");
+        }
+
+        // And the derived throughput floor derates the baseline best,
+        // which is what `tepic-cc perf --check` gates loadgen runs on.
+        let fp = Fingerprint::current("", 8);
+        let floor = derived_floor(
+            &base,
+            &fp,
+            "serve/loadgen",
+            "throughput_per_s",
+            &SentinelConfig::default(),
+        )
+        .expect("two baseline records are enough");
+        assert!(floor > 0.0 && floor < 840.0, "{floor}");
+    }
+
+    #[test]
     fn tight_baseline_noise_is_not_flagged() {
         // 4% jitter on a tight baseline: inside both the band and the
         // 5%-of-median guard.

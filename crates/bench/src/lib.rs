@@ -21,6 +21,7 @@
 pub mod engine;
 pub mod figures;
 pub mod history;
+pub mod serve;
 
 use ccc_core::EncodedProgram;
 use ifetch_sim::{simulate, FetchConfig, FetchResult};

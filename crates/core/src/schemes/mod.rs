@@ -141,8 +141,10 @@ impl SchemeOutput {
     }
 }
 
-/// Decoding interface over an [`EncodedProgram`].
-pub trait BlockCodec {
+/// Decoding interface over an [`EncodedProgram`]. Codecs are immutable
+/// decode tables, so the trait requires `Send + Sync`: a serving layer
+/// can memoize one codec per image and share it across worker threads.
+pub trait BlockCodec: Send + Sync {
     /// Decodes block `b` (which holds `num_ops` operations) back to its
     /// original 40-bit words.
     ///
@@ -264,7 +266,7 @@ pub fn decode_blocks(
 /// cycle must form a *suffix* of the symbol sequence (the pair codec's
 /// odd trailing single). The derived paths decode the cycle-consistent
 /// prefix on the fast path and the suffix per-symbol.
-pub(crate) trait SymbolCodec {
+pub(crate) trait SymbolCodec: Send + Sync {
     /// The decode tables plus their per-symbol schedule.
     fn decoder(&self) -> &InterleavedDecoder;
     /// Codewords encoding a block of `num_ops` operations.

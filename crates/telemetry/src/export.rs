@@ -145,6 +145,25 @@ pub fn metrics_snapshot_json(registry: &MetricsRegistry, meta: &TraceMeta) -> St
     )
 }
 
+/// The file name a scheme's metrics snapshot is written under:
+/// `METRICS_<enc>.json`, where ASCII alphanumerics and `_` pass
+/// through verbatim (so the matrix schemes keep their historical
+/// names, `METRICS_stream_1.json` included) and every other byte —
+/// `-` itself included, since it introduces escapes — is encoded as
+/// `-xHH`. The encoding is injective: two distinct scheme names can
+/// never collide on one snapshot path, and a hostile name like
+/// `../x` cannot traverse out of the results directory.
+pub fn metrics_snapshot_name(scheme: &str) -> String {
+    let mut enc = String::with_capacity(scheme.len());
+    for b in scheme.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' => enc.push(b as char),
+            other => enc.push_str(&format!("-x{other:02x}")),
+        }
+    }
+    format!("METRICS_{enc}.json")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +264,49 @@ mod tests {
             .unwrap()
             .get("decode.stall_bits")
             .is_some());
+    }
+
+    #[test]
+    fn snapshot_names_are_stable_for_matrix_schemes() {
+        // The historical names must not change — check.sh and CI key
+        // on them, `stream_1` included.
+        for s in ["byte", "stream", "stream_1", "full", "tailored", "base"] {
+            assert_eq!(metrics_snapshot_name(s), format!("METRICS_{s}.json"));
+        }
+    }
+
+    #[test]
+    fn snapshot_names_are_injective_and_path_safe() {
+        // The classic collision: a name that *looks* pre-escaped must
+        // not map to the same file as the name it imitates.
+        assert_ne!(
+            metrics_snapshot_name("a/b"),
+            metrics_snapshot_name("a-x2fb")
+        );
+        assert_eq!(metrics_snapshot_name("a/b"), "METRICS_a-x2fb.json");
+        assert_eq!(metrics_snapshot_name("a-x2fb"), "METRICS_a-x2dx2fb.json");
+        // Traversal attempts stay inside the directory.
+        let n = metrics_snapshot_name("../x");
+        assert!(!n.contains('/'), "{n}");
+        assert!(!n.contains(".."), "{n}");
+        // Pairwise-distinct over a tricky corpus.
+        let corpus = [
+            "stream",
+            "stream_1",
+            "stream-1",
+            "stream/1",
+            "stream.1",
+            "stream 1",
+            "stream-x2f1",
+        ];
+        for (i, a) in corpus.iter().enumerate() {
+            for b in corpus.iter().skip(i + 1) {
+                assert_ne!(
+                    metrics_snapshot_name(a),
+                    metrics_snapshot_name(b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
     }
 }

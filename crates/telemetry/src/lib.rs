@@ -43,7 +43,7 @@ pub mod spans;
 pub mod trace;
 
 pub use clock::{Clock, FakeClock, MonotonicClock, Sleeper, ThreadSleeper};
-pub use export::{chrome_trace_json, metrics_snapshot_json, TraceMeta};
+pub use export::{chrome_trace_json, metrics_snapshot_json, metrics_snapshot_name, TraceMeta};
 pub use json::{parse_json, JsonError, JsonValue};
 pub use ledger::{Fingerprint, LedgerRecord, LoadOutcome, DEFAULT_LEDGER_PATH};
 pub use registry::{observe_fetch_histograms, Counter, Gauge, Histogram, MetricsRegistry};

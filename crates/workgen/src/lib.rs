@@ -54,11 +54,13 @@
 
 mod calibrate;
 mod gen;
+pub mod servemix;
 
 pub use calibrate::{
     CalibrationReport, CampaignRow, CampaignSummary, MixProfile, SchemeSites, FOREIGN_TARGET,
 };
 pub use gen::generate_program;
+pub use servemix::{request_mix, MixParams, ServeRequest, MIX_SCHEMES};
 
 use std::fmt;
 use tinker_workloads::Workload;

@@ -124,6 +124,49 @@ else
 echo "skipped (CCC_PERF_SMOKE=0)"
 fi
 
+echo "==> serve daemon smoke (tepic-ccd + loadgen)"
+# CCC_SERVE_SMOKE=0 skips on very slow hosts. Boots the daemon on an
+# ephemeral port, fires a seeded mixed hot/cold loadgen burst at it
+# (--verify re-fetches every hot combo and asserts the daemon's bytes
+# are identical to the warmup responses AND to the locally recomputed
+# one-shot pipeline artifacts), enforces loose floors (req/s, hot p99,
+# zero errors), then --shutdown drains the daemon gracefully: the
+# drain ack must arrive, post-drain jobs must be refused, and the
+# daemon process must exit 0. results/BENCH_serve.json is refreshed
+# (uploaded by CI).
+if [ "${CCC_SERVE_SMOKE:-1}" = "1" ]; then
+CCC_SERVE_DIR="${TMPDIR:-/tmp}/ccc-serve-smoke-$$"
+mkdir -p "$CCC_SERVE_DIR"
+./target/release/tepic-ccd --cache-dir "$CCC_SERVE_DIR/cache" \
+    --port-file "$CCC_SERVE_DIR/port" >/dev/null &
+CCC_SERVE_PID=$!
+i=0
+while [ ! -s "$CCC_SERVE_DIR/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "tepic-ccd never wrote its port file" >&2
+        kill "$CCC_SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+CCC_LEDGER="$CCC_SERVE_DIR/ledger.jsonl" ./target/release/tepic-cc loadgen \
+    --addr "$(cat "$CCC_SERVE_DIR/port")" --requests 200 --conns 4 --seed 42 \
+    --verify --shutdown --min-rps 20 --max-hot-p99-ns 2000000000
+wait "$CCC_SERVE_PID" || {
+    echo "tepic-ccd exited non-zero after drain" >&2
+    exit 1
+}
+[ -s "results/BENCH_serve.json" ] || {
+    echo "missing results/BENCH_serve.json" >&2
+    exit 1
+}
+rm -rf "$CCC_SERVE_DIR"
+echo "daemon served the burst warm-byte-identical and drained cleanly (exit 0)"
+else
+echo "skipped (CCC_SERVE_SMOKE=0)"
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -13,6 +13,7 @@
 //! tepic-cc chaos [options]            self-healing audit under injected faults
 //! tepic-cc gen [options]              seeded synthetic workload corpus + calibration
 //! tepic-cc perf [options]             run-ledger sentinel + cost attribution
+//! tepic-cc loadgen [options]          hammer a running tepic-ccd daemon
 //! ```
 //!
 //! With `-` as the file, source is read from stdin. `--no-opt` disables
@@ -109,6 +110,29 @@
 //! --jobs <N>           worker threads for --attr
 //! ```
 //!
+//! `loadgen` options (DESIGN.md §17):
+//!
+//! ```text
+//! --addr <host:port>   a running tepic-ccd daemon (required)
+//! --requests <N>       total requests across all connections (default 2000)
+//! --conns <N>          concurrent client connections (default 8)
+//! --seed <u64>         request-mix seed (default 42)
+//! --hot-frac <f>       hot-pool draw fraction (default 0.8)
+//! --hot-pool <N>       distinct hot (program, op, scheme) combos (default 8)
+//! --out <file>         results JSON (default results/BENCH_serve.json)
+//! --verify             recompute a sample of encode responses locally and
+//!                      re-request every hot combo, asserting the daemon's
+//!                      bytes are identical to one-shot CLI artifacts
+//! --shutdown           send a shutdown op after the run and verify the
+//!                      daemon drains (new connections refused)
+//! --min-rps <f>        fail under this aggregate ok-throughput floor
+//! --max-hot-p99-ns <N> fail over this warm-hit p99 latency ceiling
+//! ```
+//!
+//! `loadgen` appends a `serve/loadgen` ledger record whose
+//! `throughput_per_s` / `*_ns` samples feed the regression sentinel,
+//! so serve-path slowdowns fail `perf --check` like any other group.
+//!
 //! Every subcommand appends one CRC-framed JSONL record (host/build
 //! fingerprint, counters, per-stage rollups, wall-clock samples) to the
 //! run ledger on success; `CCC_NO_LEDGER=1` disables the append,
@@ -136,7 +160,10 @@ fn usage() -> ExitCode {
          \x20      tepic-cc gen [--seed <u64>] [--tier <t>] [--flavor <f>] [--out <dir>] \
          [--report <file>] [--campaign]\n\
          \x20      tepic-cc perf [--check] [--attr] [--ledger <file>] [--band <frac>] \
-         [--min-samples <N>] [--inject-slowdown <f>] [--jobs <N>]"
+         [--min-samples <N>] [--inject-slowdown <f>] [--jobs <N>]\n\
+         \x20      tepic-cc loadgen --addr <host:port> [--requests <N>] [--conns <N>] \
+         [--seed <u64>] [--hot-frac <f>] [--hot-pool <N>] [--out <file>] [--verify] \
+         [--shutdown] [--min-rps <f>] [--max-hot-p99-ns <N>]"
     );
     ExitCode::from(2)
 }
@@ -184,6 +211,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("perf") {
         return perf_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("loadgen") {
+        return loadgen_cmd(&args[1..]);
     }
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) => (c.as_str(), f.as_str()),
@@ -863,7 +893,13 @@ fn trace_cmd(args: &[String]) -> ExitCode {
         eprintln!("tepic-cc trace: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
     }
-    let metrics_path = format!("results/METRICS_{scheme}.json");
+    // metrics_snapshot_name escapes injectively, so two distinct
+    // scheme names can never collide on (or traverse out of) one
+    // snapshot path; the matrix schemes keep their historical names.
+    let metrics_path = format!(
+        "results/{}",
+        tepic_ccc::telemetry::metrics_snapshot_name(&scheme)
+    );
     if let Err(e) = write_atomic(&metrics_path, metrics_json.as_bytes()) {
         eprintln!("tepic-cc trace: cannot write {metrics_path}: {e}");
         return ExitCode::FAILURE;
@@ -1859,7 +1895,54 @@ fn perf_check(path: &std::path::Path, cfg: &tepic_ccc::bench::history::SentinelC
         cfg.band * 100.0,
         cfg.min_samples
     );
-    regressions == 0
+    let serve_failures = serve_floor_check(&outcome.records, cfg);
+    regressions == 0 && serve_failures == 0
+}
+
+/// Absolute throughput backstop for `serve/*` ledger groups, layered
+/// under the relative sentinel (which needs history): the latest record
+/// of every serve group must clear `max(CCC_SERVE_FLOOR_RPS, derived
+/// historical floor)` on `throughput_per_s`. Returns the failure count.
+fn serve_floor_check(
+    records: &[tepic_ccc::telemetry::LedgerRecord],
+    cfg: &tepic_ccc::bench::history::SentinelConfig,
+) -> usize {
+    use std::collections::BTreeMap;
+    use tepic_ccc::telemetry::LedgerRecord;
+
+    let env_floor = std::env::var("CCC_SERVE_FLOOR_RPS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(10.0);
+    let mut latest: BTreeMap<String, &LedgerRecord> = BTreeMap::new();
+    for rec in records {
+        if rec.subcommand.starts_with("serve/") {
+            let key = format!("{} :: {}", rec.fingerprint.key(), rec.subcommand);
+            latest.insert(key, rec);
+        }
+    }
+    let mut failures = 0usize;
+    for (group, rec) in &latest {
+        let Some(&rps) = rec.samples.get("throughput_per_s") else {
+            continue;
+        };
+        let derived = history::derived_floor(
+            records,
+            &rec.fingerprint,
+            &rec.subcommand,
+            "throughput_per_s",
+            cfg,
+        )
+        .unwrap_or(0.0);
+        let floor = env_floor.max(derived);
+        if rps < floor {
+            eprintln!("SERVE FLOOR: {group}: throughput {rps:.1}/s under floor {floor:.1}/s");
+            failures += 1;
+        } else {
+            println!("serve floor: {group}: throughput {rps:.1}/s >= {floor:.1}/s");
+        }
+    }
+    failures
 }
 
 /// Bare `perf`: a one-screen inventory of the ledger's groups.
@@ -2038,5 +2121,486 @@ fn perf_attr(jobs: usize) -> bool {
         wall.as_nanos() as u64,
     );
     history::append_best_effort(&rec);
+    true
+}
+
+/// One loadgen connection's view of a request/response exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServeOutcome {
+    Ok,
+    Busy,
+    Error,
+}
+
+/// Sends one canonical job request over `stream` and classifies the
+/// response. Returns the response bytes alongside so callers can check
+/// byte-identity.
+fn serve_roundtrip(
+    stream: &mut std::net::TcpStream,
+    req: &tepic_ccc::bench::serve::proto::Request,
+) -> std::io::Result<(ServeOutcome, Vec<u8>)> {
+    use tepic_ccc::bench::serve::proto::{read_frame, write_frame};
+
+    write_frame(stream, req.canonical().as_bytes())?;
+    let resp = read_frame(stream)
+        .map_err(|e| std::io::Error::other(e.to_string()))?
+        .ok_or_else(|| std::io::Error::other("daemon closed mid-exchange"))?;
+    let text = String::from_utf8_lossy(&resp);
+    let outcome = if text.contains("\"ok\":true") {
+        ServeOutcome::Ok
+    } else if text.contains("\"kind\":\"busy\"") {
+        ServeOutcome::Busy
+    } else {
+        ServeOutcome::Error
+    };
+    Ok((outcome, resp))
+}
+
+fn mix_request(r: &tepic_ccc::workgen::ServeRequest) -> tepic_ccc::bench::serve::proto::Request {
+    use tepic_ccc::bench::serve::proto::{JobOp, JobRequest, Request};
+    Request::Job(JobRequest {
+        op: JobOp::by_name(r.op).expect("servemix ops are valid"),
+        name: r.name.clone(),
+        scheme: r.scheme.to_string(),
+        seed: r.seed,
+        source: r.source.clone(),
+    })
+}
+
+/// Exact percentile over a sorted latency slice (nearest-rank).
+fn percentile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// `tepic-cc loadgen`: hammers a running `tepic-ccd` with a seeded
+/// mixed hot/cold request stream, records p50/p99 latency and req/s to
+/// `results/BENCH_serve.json`, and appends a `serve/loadgen` ledger
+/// record for the regression sentinel (DESIGN.md §17).
+fn loadgen_cmd(args: &[String]) -> ExitCode {
+    use std::collections::HashMap;
+    use tepic_ccc::bench::serve::proto::Request;
+    use tepic_ccc::workgen::{request_mix, MixParams};
+
+    let t0 = Instant::now();
+    let mut addr: Option<String> = None;
+    let mut requests = 2000usize;
+    let mut conns = 8usize;
+    let mut seed = 42u64;
+    let mut hot_frac = 0.8f64;
+    let mut hot_pool = 8usize;
+    let mut out_path = "results/BENCH_serve.json".to_string();
+    let mut verify = false;
+    let mut do_shutdown = false;
+    let mut min_rps = 0.0f64;
+    let mut max_hot_p99_ns = u64::MAX;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => return usage(),
+            },
+            "--requests" => match it.next().map(|v| v.parse()) {
+                Some(Ok(n)) => requests = n,
+                _ => return usage(),
+            },
+            "--conns" => match it.next().map(|v| v.parse()) {
+                Some(Ok(n)) if n > 0 => conns = n,
+                _ => return usage(),
+            },
+            "--seed" => match it.next().map(|v| v.parse()) {
+                Some(Ok(n)) => seed = n,
+                _ => return usage(),
+            },
+            "--hot-frac" => match it.next().map(|v| v.parse()) {
+                Some(Ok(f)) => hot_frac = f,
+                _ => return usage(),
+            },
+            "--hot-pool" => match it.next().map(|v| v.parse()) {
+                Some(Ok(n)) if n > 0 => hot_pool = n,
+                _ => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(v) => out_path = v.clone(),
+                None => return usage(),
+            },
+            "--verify" => verify = true,
+            "--shutdown" => do_shutdown = true,
+            "--min-rps" => match it.next().map(|v| v.parse()) {
+                Some(Ok(f)) => min_rps = f,
+                _ => return usage(),
+            },
+            "--max-hot-p99-ns" => match it.next().map(|v| v.parse()) {
+                Some(Ok(n)) => max_hot_p99_ns = n,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("tepic-cc loadgen: --addr is required (a running tepic-ccd)");
+        return ExitCode::from(2);
+    };
+
+    let params = MixParams {
+        hot_fraction: hot_frac,
+        hot_pool,
+        ..MixParams::default()
+    };
+    let mix = request_mix(seed, requests, &params);
+    let hot_combos: Vec<_> = {
+        let mut seen = std::collections::HashSet::new();
+        mix.iter()
+            .filter(|r| r.hot && seen.insert(r.name.clone()))
+            .cloned()
+            .collect()
+    };
+
+    // Warmup: build every hot artifact once, serially, and keep the
+    // response bytes — the measured phase then exercises the *warm*
+    // path for hot requests, and --verify re-checks these exact bytes.
+    let mut warm_bytes: HashMap<String, Vec<u8>> = HashMap::new();
+    {
+        let mut stream = match std::net::TcpStream::connect(&addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tepic-cc loadgen: cannot connect to {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for r in &hot_combos {
+            match serve_roundtrip(&mut stream, &mix_request(r)) {
+                Ok((ServeOutcome::Ok, bytes)) => {
+                    warm_bytes.insert(r.name.clone(), bytes);
+                }
+                Ok((outcome, bytes)) => {
+                    eprintln!(
+                        "tepic-cc loadgen: warmup {} failed ({outcome:?}): {}",
+                        r.name,
+                        String::from_utf8_lossy(&bytes)
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("tepic-cc loadgen: warmup i/o error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    println!(
+        "loadgen: warmed {} hot combo(s) on {addr}; firing {} request(s) over {} connection(s)",
+        hot_combos.len(),
+        mix.len(),
+        conns
+    );
+
+    // Measured phase: the mix split round-robin across `conns`
+    // synchronous connections, each timing every exchange.
+    let chunks: Vec<Vec<tepic_ccc::workgen::ServeRequest>> = {
+        let mut cs: Vec<Vec<_>> = (0..conns).map(|_| Vec::new()).collect();
+        for (i, r) in mix.iter().enumerate() {
+            cs[i % conns].push(r.clone());
+        }
+        cs
+    };
+    let measure_start = Instant::now();
+    // Per connection: (hot?, latency-ns) per ok response, busy count,
+    // error count.
+    type ConnStats = (Vec<(bool, u64)>, usize, usize);
+    let per_conn: Vec<ConnStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut lat: Vec<(bool, u64)> = Vec::with_capacity(chunk.len());
+                    let (mut busy, mut errors) = (0usize, 0usize);
+                    let Ok(mut stream) = std::net::TcpStream::connect(&addr) else {
+                        return (lat, busy, chunk.len());
+                    };
+                    for r in chunk {
+                        let req = mix_request(r);
+                        let t = Instant::now();
+                        match serve_roundtrip(&mut stream, &req) {
+                            Ok((ServeOutcome::Ok, _)) => {
+                                lat.push((r.hot, t.elapsed().as_nanos() as u64));
+                            }
+                            Ok((ServeOutcome::Busy, _)) => busy += 1,
+                            Ok((ServeOutcome::Error, _)) => errors += 1,
+                            Err(_) => {
+                                errors += 1;
+                                break;
+                            }
+                        }
+                    }
+                    (lat, busy, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen thread"))
+            .collect()
+    });
+    let wall_ns = measure_start.elapsed().as_nanos() as u64;
+
+    let mut hot_lat: Vec<u64> = Vec::new();
+    let mut cold_lat: Vec<u64> = Vec::new();
+    let (mut busy, mut errors) = (0usize, 0usize);
+    for (lat, b, e) in &per_conn {
+        busy += b;
+        errors += e;
+        for &(hot, ns) in lat {
+            if hot {
+                hot_lat.push(ns);
+            } else {
+                cold_lat.push(ns);
+            }
+        }
+    }
+    hot_lat.sort_unstable();
+    cold_lat.sort_unstable();
+    let ok = hot_lat.len() + cold_lat.len();
+    let throughput = ok as f64 / (wall_ns.max(1) as f64 / 1e9);
+    let (hot_p50, hot_p99) = (percentile_ns(&hot_lat, 0.5), percentile_ns(&hot_lat, 0.99));
+    let (cold_p50, cold_p99) = (
+        percentile_ns(&cold_lat, 0.5),
+        percentile_ns(&cold_lat, 0.99),
+    );
+    println!(
+        "loadgen: {ok} ok / {busy} busy / {errors} error(s) in {:.2}s -> {throughput:.1} req/s",
+        wall_ns as f64 / 1e9
+    );
+    println!(
+        "latency: hot p50 {:.3} ms p99 {:.3} ms ({} reqs); cold p50 {:.3} ms p99 {:.3} ms ({} reqs)",
+        hot_p50 as f64 / 1e6,
+        hot_p99 as f64 / 1e6,
+        hot_lat.len(),
+        cold_p50 as f64 / 1e6,
+        cold_p99 as f64 / 1e6,
+        cold_lat.len()
+    );
+
+    // --verify: warm hits must be byte-identical to the warmup
+    // responses, and encode responses must carry exactly the image
+    // bytes a one-shot CLI pipeline produces for the same source.
+    if verify {
+        let mut stream = match std::net::TcpStream::connect(&addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tepic-cc loadgen: verify connect failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for r in &hot_combos {
+            match serve_roundtrip(&mut stream, &mix_request(r)) {
+                Ok((ServeOutcome::Ok, bytes)) => {
+                    if warm_bytes.get(&r.name) != Some(&bytes) {
+                        eprintln!(
+                            "tepic-cc loadgen: VERIFY FAILED: warm re-request of {} \
+                             returned different bytes than its first build",
+                            r.name
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+                _ => {
+                    eprintln!("tepic-cc loadgen: verify re-request of {} failed", r.name);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let mut checked = 0usize;
+        for r in hot_combos.iter().filter(|r| r.op == "encode").take(3) {
+            let Some(bytes) = warm_bytes.get(&r.name) else {
+                continue;
+            };
+            if !verify_encode_response(r, bytes) {
+                return ExitCode::FAILURE;
+            }
+            checked += 1;
+        }
+        println!(
+            "verify: {} warm re-request(s) byte-identical; {checked} encode image(s) match \
+             one-shot CLI artifacts",
+            hot_combos.len()
+        );
+    }
+
+    // Results JSON + ledger record (the sentinel's serve/* group).
+    let json = format!(
+        concat!(
+            "{{\"requests\":{},\"conns\":{},\"seed\":{},\"hot_fraction\":{},",
+            "\"ok\":{},\"busy\":{},\"errors\":{},\"wall_ns\":{},\"throughput_per_s\":{:.3},",
+            "\"hot\":{{\"count\":{},\"p50_ns\":{},\"p99_ns\":{}}},",
+            "\"cold\":{{\"count\":{},\"p50_ns\":{},\"p99_ns\":{}}}}}"
+        ),
+        requests,
+        conns,
+        seed,
+        hot_frac,
+        ok,
+        busy,
+        errors,
+        wall_ns,
+        throughput,
+        hot_lat.len(),
+        hot_p50,
+        hot_p99,
+        cold_lat.len(),
+        cold_p50,
+        cold_p99,
+    );
+    if let Err(e) = write_atomic(&out_path, json.as_bytes()) {
+        eprintln!("tepic-cc loadgen: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("results -> {out_path}");
+
+    let mut rec = history::base_record(
+        "serve/loadgen",
+        seed,
+        build_features(),
+        0,
+        t0.elapsed().as_nanos() as u64,
+    );
+    rec.samples
+        .insert("throughput_per_s".to_string(), throughput);
+    rec.samples.insert("hot_p50_ns".to_string(), hot_p50 as f64);
+    rec.samples.insert("hot_p99_ns".to_string(), hot_p99 as f64);
+    rec.samples
+        .insert("cold_p50_ns".to_string(), cold_p50 as f64);
+    rec.samples
+        .insert("cold_p99_ns".to_string(), cold_p99 as f64);
+    for (name, v) in [
+        ("serve.ok", ok as u64),
+        ("serve.busy", busy as u64),
+        ("serve.errors", errors as u64),
+    ] {
+        rec.counters.insert(name.to_string(), v);
+    }
+    history::append_best_effort(&rec);
+
+    // --shutdown: graceful drain — the daemon acks, finishes admitted
+    // jobs, and stops accepting; new connections must be refused.
+    if do_shutdown {
+        let drained = (|| -> std::io::Result<()> {
+            let mut stream = std::net::TcpStream::connect(&addr)?;
+            let (outcome, _) = serve_roundtrip(&mut stream, &Request::Shutdown)?;
+            if outcome != ServeOutcome::Ok {
+                return Err(std::io::Error::other("shutdown op rejected"));
+            }
+            // A fresh job on the already-open connection must be
+            // refused — either a typed draining error, or an i/o error
+            // because the drained daemon already exited and tore the
+            // connection down. Both prove no new job was served; only
+            // an Ok response is a failure.
+            let probe = mix_request(&mix[0]);
+            match serve_roundtrip(&mut stream, &probe) {
+                Ok((ServeOutcome::Ok, _)) => Err(std::io::Error::other(
+                    "daemon accepted a job while draining",
+                )),
+                Ok(_) | Err(_) => Ok(()),
+            }
+        })();
+        match drained {
+            Ok(()) => println!("shutdown: daemon draining; no new jobs accepted"),
+            Err(e) => {
+                eprintln!("tepic-cc loadgen: drain verification failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut failed = false;
+    if throughput < min_rps {
+        eprintln!("tepic-cc loadgen: FLOOR: {throughput:.1} req/s under --min-rps {min_rps:.1}");
+        failed = true;
+    }
+    if hot_p99 > max_hot_p99_ns {
+        eprintln!(
+            "tepic-cc loadgen: FLOOR: hot p99 {hot_p99} ns over --max-hot-p99-ns {max_hot_p99_ns}"
+        );
+        failed = true;
+    }
+    if errors > 0 {
+        eprintln!("tepic-cc loadgen: {errors} request(s) failed");
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Recomputes an encode response's image locally (compile + compress,
+/// the exact one-shot CLI pipeline) and compares byte-for-byte with
+/// what the daemon served.
+fn verify_encode_response(r: &tepic_ccc::workgen::ServeRequest, resp: &[u8]) -> bool {
+    use tepic_ccc::bench::serve::proto::from_hex;
+
+    let text = String::from_utf8_lossy(resp);
+    let parsed = match tepic_ccc::telemetry::parse_json(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!(
+                "tepic-cc loadgen: VERIFY FAILED: {}: unparseable response: {e}",
+                r.name
+            );
+            return false;
+        }
+    };
+    let Some(hex) = parsed.get("image_hex").and_then(|v| v.as_str()) else {
+        eprintln!(
+            "tepic-cc loadgen: VERIFY FAILED: {}: encode response lacks image_hex",
+            r.name
+        );
+        return false;
+    };
+    let Some(served) = from_hex(hex) else {
+        eprintln!("tepic-cc loadgen: VERIFY FAILED: {}: bad image_hex", r.name);
+        return false;
+    };
+    let program = match lego::compile(&r.source, &lego::Options::default()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!(
+                "tepic-cc loadgen: VERIFY FAILED: {}: local compile: {e}",
+                r.name
+            );
+            return false;
+        }
+    };
+    let out = match tepic_ccc::bench::engine::scheme_by_name(r.scheme)
+        .expect("mix schemes are valid")
+        .compress(&program)
+    {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!(
+                "tepic-cc loadgen: VERIFY FAILED: {}: local compress: {e}",
+                r.name
+            );
+            return false;
+        }
+    };
+    let local = tepic_ccc::ccc::encoded_to_bytes(&out.image);
+    if local != served {
+        eprintln!(
+            "tepic-cc loadgen: VERIFY FAILED: {}: daemon image ({} bytes) differs from \
+             one-shot CLI image ({} bytes)",
+            r.name,
+            served.len(),
+            local.len()
+        );
+        return false;
+    }
     true
 }
